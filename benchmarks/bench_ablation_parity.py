@@ -1,0 +1,77 @@
+"""Ablation: parity bits per word (paper Section 3.4's first knob).
+
+With k interleaved parity bits the dirty data splits into k protection
+domains, multiplying the temporal-MBE MTTF by ~k, and bursts up to k bits
+wide stay detectable.  Storage grows linearly with k.
+"""
+
+import random
+
+from repro.coding import InterleavedParity
+from repro.harness import PAPER_TABLE2_L1, format_table
+from repro.reliability import mttf_cppc_years
+from repro.util import flip_bits, make_rng
+
+from conftest import publish
+
+WAYS = (1, 2, 4, 8)
+
+
+def burst_detection_rate(ways, max_burst, trials=400):
+    """Fraction of random bursts of width <= max_burst that k-way parity
+    detects."""
+    code = InterleavedParity(data_bits=64, ways=ways)
+    rng = make_rng(("burst", ways, max_burst))
+    detected = 0
+    for _ in range(trials):
+        value = rng.getrandbits(64)
+        width = rng.randint(1, max_burst)
+        start = rng.randrange(64 - width + 1)
+        corrupted = flip_bits(value, range(start, start + width))
+        if code.inspect(corrupted, code.encode(value)).detected:
+            detected += 1
+    return detected / trials
+
+
+def compute_parity_ablation():
+    rows = []
+    for ways in WAYS:
+        rows.append(
+            [
+                ways,
+                mttf_cppc_years(PAPER_TABLE2_L1, parity_ways=ways),
+                100.0 * ways / 64,
+                burst_detection_rate(ways, max_burst=ways),
+                burst_detection_rate(ways, max_burst=8),
+            ]
+        )
+    return rows
+
+
+def test_parity_ways_ablation(benchmark):
+    rows = benchmark(compute_parity_ablation)
+
+    publish(
+        "ablation_parity",
+        format_table(
+            ["parity bits", "L1 MTTF (years)", "storage %",
+             "burst<=k detect", "burst<=8 detect"],
+            rows,
+            title="Ablation: interleaved parity bits per word (Section 3.4)",
+        ),
+    )
+
+    mttfs = [r[1] for r in rows]
+    assert mttfs == sorted(mttfs), "more parity bits must not hurt MTTF"
+    assert mttfs[-1] / mttfs[0] > 7.5, "8 bits buy ~8x over 1 bit"
+    # Any burst within the interleave width is detected, guaranteed.
+    for _ways, _mttf, _storage, within, _wide in rows:
+        assert within == 1.0
+    # Only 8-way interleaving catches every burst up to 8 bits.
+    wide_rates = [r[4] for r in rows]
+    assert wide_rates[-1] == 1.0
+    assert wide_rates[0] < 1.0
+    benchmark.extra_info.update(
+        mttf_1_bit=mttfs[0], mttf_8_bits=mttfs[-1],
+        one_bit_burst8_detection=wide_rates[0],
+    )

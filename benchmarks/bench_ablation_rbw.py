@@ -1,0 +1,64 @@
+"""Ablation: read-before-write volume — the root cause of Figures 11/12.
+
+CPPC reads old data only on stores to already-dirty words; 2-D parity
+reads it on *every* store and reads a whole line on *every* miss.  This
+bench counts both on the shared benchmark runs and shows the L1-vs-L2
+asymmetry the paper's conclusion highlights (CPPC's relative RBW traffic
+shrinks at L2).
+"""
+
+from repro.harness import format_table
+
+from conftest import publish
+
+
+def compute_rbw_table(runs):
+    rows = []
+    for run in runs:
+        l1, l2 = run.l1, run.l2
+        cppc_l1 = l1.stores_to_dirty_units
+        twod_l1 = l1.stores + l1.misses
+        cppc_l2 = l2.stores_to_dirty_units
+        twod_l2 = l2.stores + l2.misses
+        rows.append(
+            [
+                run.name,
+                cppc_l1,
+                twod_l1,
+                cppc_l1 / max(1, l1.accesses),
+                twod_l1 / max(1, l1.accesses),
+                cppc_l2 / max(1, l2.accesses),
+                twod_l2 / max(1, l2.accesses),
+            ]
+        )
+    return rows
+
+
+def test_rbw_ablation(benchmark, bench_runs):
+    rows = benchmark(compute_rbw_table, bench_runs)
+
+    publish(
+        "ablation_rbw",
+        format_table(
+            ["benchmark", "CPPC L1 RBWs", "2D L1 RBWs",
+             "CPPC L1 /acc", "2D L1 /acc", "CPPC L2 /acc", "2D L2 /acc"],
+            rows,
+            title="Ablation: read-before-write operations per scheme",
+        ),
+    )
+
+    cppc_l1_rates = [r[3] for r in rows]
+    twod_l1_rates = [r[4] for r in rows]
+    cppc_l2_rates = [r[5] for r in rows]
+    # 2-D parity always performs at least as many RBWs as CPPC.
+    for cppc_rate, twod_rate in zip(cppc_l1_rates, twod_l1_rates):
+        assert twod_rate >= cppc_rate
+    # The paper's conclusion: fewer RBWs per access at L2 than at L1.
+    avg_l1 = sum(cppc_l1_rates) / len(cppc_l1_rates)
+    avg_l2 = sum(cppc_l2_rates) / len(cppc_l2_rates)
+    assert avg_l2 < avg_l1
+    benchmark.extra_info.update(
+        cppc_l1_rbw_per_access=avg_l1,
+        cppc_l2_rbw_per_access=avg_l2,
+        twod_l1_rbw_per_access=sum(twod_l1_rates) / len(twod_l1_rates),
+    )

@@ -1,0 +1,62 @@
+"""Paper Section 4.7: mean time to mistake a temporal fault pair for a
+spatial strike (the miscorrection/SDC hazard of byte shifting).
+
+Paper: ~4.19e20 years for the L2 configuration with one register pair —
+five orders of magnitude beyond the temporal-2-bit DUE MTTF, hence
+negligible.  Also reproduces the mitigation table: 7/3/1/0 vulnerable bits
+for 1/2/4/8 register pairs.
+"""
+
+import math
+
+from repro.harness import PAPER_TABLE2_L2, format_table
+from repro.reliability import (
+    aliasing_vulnerable_bits,
+    mttf_aliasing_years,
+    mttf_cppc_years,
+)
+
+from conftest import publish
+
+PAPER_ALIASING_L2_YEARS = 4.19e20
+
+
+def compute_aliasing_table():
+    rows = []
+    for pairs in (1, 2, 4, 8):
+        rows.append(
+            [
+                pairs,
+                aliasing_vulnerable_bits(8, pairs),
+                mttf_aliasing_years(PAPER_TABLE2_L2, num_pairs=pairs),
+            ]
+        )
+    return rows
+
+
+def test_aliasing_mttf(benchmark):
+    rows = benchmark(compute_aliasing_table)
+
+    publish(
+        "aliasing_mttf",
+        format_table(
+            ["register pairs", "vulnerable bits", "L2 aliasing MTTF (years)"],
+            rows,
+            title="Section 4.7: aliasing (temporal-as-spatial) hazard",
+        ),
+    )
+
+    one_pair_mttf = rows[0][2]
+    benchmark.extra_info.update(
+        one_pair_years=one_pair_mttf, paper_years=PAPER_ALIASING_L2_YEARS
+    )
+
+    assert PAPER_ALIASING_L2_YEARS / 3 <= one_pair_mttf <= (
+        PAPER_ALIASING_L2_YEARS * 3
+    )
+    # "5 orders of magnitude larger than DUEs due to temporal 2-bit faults".
+    due_mttf = mttf_cppc_years(PAPER_TABLE2_L2)
+    assert one_pair_mttf > 1e3 * due_mttf
+    # Vulnerable-bit progression 7/3/1/0 and the hazard vanishing at 8 pairs.
+    assert [r[1] for r in rows] == [7, 3, 1, 0]
+    assert rows[-1][2] == math.inf

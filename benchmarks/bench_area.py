@@ -1,0 +1,62 @@
+"""Paper Section 5.1: area overheads of the protection schemes.
+
+CPPC adds error correction to a parity cache for two registers and two
+barrel shifters — a negligible increment over parity's 12.5% check
+storage — while SECDED needs wider check storage plus encode/decode logic
+and 2-D parity needs the extra vertical row.
+"""
+
+from repro.energy import scheme_area
+from repro.harness import format_table
+from repro.memsim import PAPER_CONFIG
+
+from conftest import publish
+
+SCHEMES = ("parity", "cppc", "secded", "2d-parity")
+
+
+def compute_area_table():
+    rows = []
+    for level, geometry in (("L1", PAPER_CONFIG.l1d), ("L2", PAPER_CONFIG.l2)):
+        data_bits = geometry.size_bytes * 8
+        for scheme in SCHEMES:
+            report = scheme_area(scheme, geometry)
+            rows.append(
+                [
+                    level,
+                    scheme,
+                    report.check_storage_bits,
+                    report.register_bits,
+                    report.logic_bit_equivalents,
+                    100.0 * report.overhead_vs_data(data_bits),
+                ]
+            )
+    return rows
+
+
+def test_area_overheads(benchmark):
+    rows = benchmark(compute_area_table)
+
+    publish(
+        "area_overheads",
+        format_table(
+            ["level", "scheme", "check bits", "register bits",
+             "logic (bit eq)", "overhead %"],
+            rows,
+            title="Section 5.1: area overhead vs raw data array",
+        ),
+    )
+
+    overheads = {(r[0], r[1]): r[5] for r in rows}
+    for level in ("L1", "L2"):
+        parity = overheads[(level, "parity")]
+        cppc = overheads[(level, "cppc")]
+        secded = overheads[(level, "secded")]
+        benchmark.extra_info[f"{level}_cppc_minus_parity_pct"] = cppc - parity
+        # Parity's 12.5% baseline (8 check bits per 64-bit word at L1,
+        # 8 per 256-bit block at L2 is 3.1%).
+        assert parity <= 12.5 + 1e-9
+        # CPPC adds under 0.1% on top of parity (Section 5.1's point).
+        assert cppc - parity < 0.1
+        # SECDED costs more than CPPC at equal correction ambitions.
+        assert secded > cppc

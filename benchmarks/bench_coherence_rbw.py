@@ -1,0 +1,90 @@
+"""Paper Section 7 (future work): CPPC in multiprocessors.
+
+"In invalidate protocols, since many dirty blocks may be invalidated, the
+number of read-before-write operations might decrease which might lead to
+better efficiency in multiprocessor CPPCs."
+
+This bench runs the same store stream through one-core and multi-core
+write-invalidate systems (private CPPC L1s over a shared L2) and measures
+L1 read-before-writes per store plus the coherence traffic.  The paper's
+hypothesis must hold: sharing reduces per-store RBW work.
+"""
+
+import random
+
+from repro.cppc import CppcProtection
+from repro.harness import format_table
+from repro.memsim import CoherentSystem, small_coherent_config
+
+from conftest import publish
+
+STREAM_LENGTH = 4000
+SHARED_WORDS = 192
+
+
+def _stream(seed):
+    rng = random.Random(seed)
+    return [
+        (rng.randrange(SHARED_WORDS) * 8, rng.getrandbits(64).to_bytes(8, "big"),
+         rng.random())
+        for _ in range(STREAM_LENGTH)
+    ]
+
+
+def _cppc_factory(core, level, unit_bits):
+    return CppcProtection(data_bits=unit_bits)
+
+
+def run_sharing_sweep():
+    rows = []
+    stream = _stream(17)
+    for cores in (1, 2, 4):
+        system = CoherentSystem(
+            cores, small_coherent_config(), protection_factory=_cppc_factory
+        )
+        stores = 0
+        for i, (addr, value, p) in enumerate(stream):
+            core = i % cores
+            if p < 0.7:
+                system.store(core, addr, value)
+                stores += 1
+            else:
+                system.load(core, addr)
+        rbw = system.total_read_before_writes()
+        rows.append(
+            [
+                cores,
+                rbw,
+                rbw / stores,
+                system.bus.invalidations,
+                system.bus.dirty_invalidations,
+                system.bus.downgrades,
+            ]
+        )
+    return rows
+
+
+def test_coherence_rbw(benchmark):
+    rows = benchmark(run_sharing_sweep)
+
+    publish(
+        "coherence_rbw",
+        format_table(
+            ["cores", "L1 RBWs", "RBW/store", "invalidations",
+             "dirty invalidations", "downgrades"],
+            rows,
+            title="Section 7: read-before-writes under write-invalidate sharing",
+        ),
+    )
+
+    per_store = [r[2] for r in rows]
+    benchmark.extra_info.update(
+        rbw_per_store_1_core=per_store[0],
+        rbw_per_store_4_cores=per_store[-1],
+    )
+
+    # The future-work hypothesis: more sharing -> fewer RBWs per store.
+    assert per_store == sorted(per_store, reverse=True)
+    assert per_store[-1] < per_store[0]
+    # Sharing actually happened.
+    assert rows[1][4] > 0 and rows[2][4] > 0

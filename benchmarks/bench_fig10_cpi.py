@@ -1,0 +1,42 @@
+"""Paper Figure 10: CPI of CPPC and 2-D parity L1 caches, normalised to a
+one-dimensional-parity L1, over the fifteen benchmarks.
+
+Paper numbers: CPPC averages +0.3% (at most +1%); two-dimensional parity
+averages +1.7% (up to +6.9%).  The reproduction must preserve the shape:
+CPPC's overhead is tiny and always at most 2-D parity's.
+"""
+
+from repro.harness import figure10
+
+from conftest import publish
+
+
+def test_figure10_cpi(benchmark, bench_runs):
+    result = benchmark(figure10, bench_runs)
+
+    publish("figure10_cpi", result.to_text())
+
+    cppc_avg = result.average_overhead("cppc")
+    cppc_max = result.max_overhead("cppc")
+    twod_avg = result.average_overhead("2d-parity")
+    twod_max = result.max_overhead("2d-parity")
+    benchmark.extra_info.update(
+        cppc_avg_overhead=cppc_avg,
+        cppc_max_overhead=cppc_max,
+        twod_avg_overhead=twod_avg,
+        twod_max_overhead=twod_max,
+        paper_cppc_avg=0.003,
+        paper_twod_avg=0.017,
+    )
+
+    # Shape assertions (who wins, and by what order of magnitude).
+    assert cppc_avg < 0.01, "CPPC CPI overhead must stay under 1% on average"
+    assert cppc_max < 0.025, "CPPC CPI overhead must stay small everywhere"
+    assert twod_avg >= cppc_avg, "2-D parity must cost at least CPPC"
+    assert twod_max > cppc_max, "2-D parity's worst case exceeds CPPC's"
+    for bench in result.per_benchmark:
+        assert result.normalized("cppc", bench) >= 1.0 - 1e-9
+        assert (
+            result.normalized("2d-parity", bench)
+            >= result.normalized("cppc", bench) - 1e-9
+        )

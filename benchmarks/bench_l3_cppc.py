@@ -1,0 +1,84 @@
+"""Paper Section 7 (future work): "We expect an L3 CPPC to be even more
+energy efficient ... we believe the number of read-before-write operations
+is smaller in L3 caches."
+
+This bench runs the big-footprint profiles (the benchmarks the paper says
+future work would use) through a three-level hierarchy and compares the
+CPPC energy overhead per level: the normalised CPPC-vs-parity energy must
+not grow down the hierarchy, and the L3 read-before-write rate per access
+must undercut the L1 rate.
+"""
+
+from repro.energy import normalized_energies
+from repro.harness import format_table
+from repro.memsim import MemoryHierarchy, PAPER_CONFIG_WITH_L3
+from repro.timing import collect_events
+from repro.workloads import make_workload
+
+from conftest import BENCH_REFERENCES, publish
+
+#: Big-footprint profiles — the traffic that actually reaches an L3.
+SUBSET = ("mcf", "swim", "art", "gcc", "equake")
+
+
+def run_l3_study():
+    refs = max(20_000, BENCH_REFERENCES // 4)
+    rows = []
+    for name in SUBSET:
+        hierarchy = MemoryHierarchy(PAPER_CONFIG_WITH_L3)
+        collect_events(make_workload(name).records(refs), hierarchy)
+        config = hierarchy.config
+        levels = [
+            ("L1", hierarchy.l1d.stats, config.l1d),
+            ("L2", hierarchy.l2.stats, config.l2),
+            ("L3", hierarchy.l3.stats, config.l3),
+        ]
+        for level, stats, geometry in levels:
+            if stats.accesses == 0:
+                continue
+            energies = normalized_energies(stats, geometry)
+            rows.append(
+                [
+                    name,
+                    level,
+                    stats.accesses,
+                    stats.stores_to_dirty_units / stats.accesses,
+                    energies["cppc"],
+                ]
+            )
+    return rows
+
+
+def test_l3_cppc(benchmark):
+    rows = benchmark.pedantic(run_l3_study, rounds=1, iterations=1)
+
+    publish(
+        "l3_cppc",
+        format_table(
+            ["benchmark", "level", "accesses", "RBW/access", "cppc energy"],
+            rows,
+            title="Section 7: CPPC down the hierarchy (L1 -> L2 -> L3)",
+        ),
+    )
+
+    by_key = {(r[0], r[1]): r for r in rows}
+    l3_cheaper = 0
+    counted = 0
+    for name in SUBSET:
+        l1 = by_key.get((name, "L1"))
+        l3 = by_key.get((name, "L3"))
+        if not l1 or not l3:
+            continue
+        counted += 1
+        # Section 7's expectation, per benchmark: lower RBW rate and lower
+        # normalised CPPC energy at L3 than at L1.
+        if l3[4] <= l1[4] + 1e-9:
+            l3_cheaper += 1
+        assert l3[3] <= l1[3] + 0.05, f"{name}: L3 RBW rate above L1's"
+    assert counted >= 4, "L3 saw too little traffic to evaluate"
+    assert l3_cheaper >= counted - 1, (
+        "L3 CPPC must be at least as cheap as L1 CPPC almost everywhere"
+    )
+    benchmark.extra_info.update(
+        l3_cheaper=l3_cheaper, benchmarks_counted=counted
+    )

@@ -1,0 +1,43 @@
+"""Empirical resilience matrix: the dynamic counterpart of Table 3.
+
+Every scheme faces identical injected faults (single bits in dirty data,
+4x4 spatial strikes); outcomes and derived FIT rates land in one matrix.
+The paper's analytical claims must hold empirically: CPPC ends every
+trial benign or corrected; parity trades SDC for DUE; an unprotected
+cache leaks silent corruption; interleaved SECDED matches CPPC on these
+fault models while costing more energy (see the figure benches).
+"""
+
+from repro.faults import Outcome
+from repro.harness import resilience_matrix
+
+from conftest import publish
+
+
+def test_resilience_matrix(benchmark):
+    matrix = benchmark.pedantic(
+        resilience_matrix,
+        kwargs=dict(trials=20, warmup_references=1500,
+                    post_fault_references=1000),
+        rounds=1,
+        iterations=1,
+    )
+
+    publish("resilience_matrix", matrix.to_text())
+
+    for fault in ("temporal", "spatial4x4"):
+        assert matrix.rate("cppc", fault, Outcome.SDC) == 0.0
+        assert matrix.rate("cppc", fault, Outcome.DUE) == 0.0
+        assert matrix.rate("secded", fault, Outcome.SDC) == 0.0
+    assert matrix.rate("none", "temporal", Outcome.SDC) > 0
+    assert matrix.rate("parity", "temporal", Outcome.DUE) > 0
+    assert matrix.rate("parity", "temporal", Outcome.SDC) == 0.0
+
+    cppc_fit = matrix.fits[("cppc", "temporal")].total_fit
+    parity_fit = matrix.fits[("parity", "temporal")].total_fit
+    benchmark.extra_info.update(
+        cppc_fit=cppc_fit, parity_fit=parity_fit,
+        none_sdc_rate=matrix.rate("none", "temporal", Outcome.SDC),
+    )
+    assert cppc_fit == 0.0
+    assert parity_fit > 0.0

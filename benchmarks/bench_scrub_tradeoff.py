@@ -1,0 +1,86 @@
+"""Related-work comparison: early write-back scrubbing vs CPPC.
+
+The paper (Section 2) argues that early-write-back schemes [2, 15] buy
+reliability for parity caches by shrinking dirty residency, but "their
+energy consumption is high ... when the number of write-backs is large".
+This bench quantifies the trade-off on one workload: scrub rate vs dirty
+fraction (the parity MTTF lever) vs extra write-back traffic — against
+CPPC, which keeps the dirty data *and* corrects it.
+"""
+
+from repro.harness import format_table
+from repro.memsim import EarlyWritebackScrubber, MemoryHierarchy, PAPER_CONFIG
+from repro.reliability import ReliabilityInputs, mttf_parity_years
+from repro.workloads import make_workload
+
+from conftest import publish
+
+REFERENCES = 12_000
+INTERVALS = (0, 2048, 256, 32)  # 0 = no scrubbing
+
+
+def run_scrub_sweep():
+    rows = []
+    for interval in INTERVALS:
+        hierarchy = MemoryHierarchy(PAPER_CONFIG)
+        scrubber = (
+            EarlyWritebackScrubber(
+                hierarchy.l1d, interval_accesses=interval, lines_per_pass=8
+            )
+            if interval
+            else None
+        )
+        cycle = 0
+        for record in make_workload("gcc", seed=3).records(REFERENCES):
+            cycle += record.instructions
+            if record.value:
+                hierarchy.store(record.addr, record.value, cycle=cycle)
+            else:
+                hierarchy.load(record.addr, record.size, cycle=cycle)
+            if scrubber is not None:
+                scrubber.tick()
+        stats = hierarchy.l1d.stats
+        dirty = max(stats.dirty_fraction, 1e-6)
+        inputs = ReliabilityInputs(
+            size_bits=PAPER_CONFIG.l1d.size_bytes * 8,
+            dirty_fraction=dirty,
+            tavg_cycles=max(stats.tavg_cycles, 1.0),
+        )
+        rows.append(
+            [
+                interval if interval else "off",
+                dirty * 100,
+                stats.writebacks,
+                mttf_parity_years(inputs),
+            ]
+        )
+    return rows
+
+
+def test_scrub_tradeoff(benchmark):
+    rows = benchmark(run_scrub_sweep)
+
+    publish(
+        "scrub_tradeoff",
+        format_table(
+            ["scrub interval", "L1 dirty %", "writebacks",
+             "parity MTTF (years)"],
+            rows,
+            title="Related work: early write-back scrubbing trade-off",
+        ),
+    )
+
+    dirty = [r[1] for r in rows]
+    writebacks = [r[2] for r in rows]
+    mttf = [r[3] for r in rows]
+    benchmark.extra_info.update(
+        dirty_no_scrub=dirty[0], dirty_heavy_scrub=dirty[-1],
+        writebacks_no_scrub=writebacks[0], writebacks_heavy_scrub=writebacks[-1],
+    )
+
+    # More scrubbing -> less dirty residency -> better parity MTTF ...
+    assert dirty == sorted(dirty, reverse=True)
+    assert mttf == sorted(mttf)
+    assert dirty[-1] < 0.6 * dirty[0]
+    # ... at the cost the paper calls out: much more write-back traffic.
+    assert writebacks[-1] > 2 * writebacks[0]

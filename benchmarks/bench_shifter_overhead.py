@@ -1,0 +1,76 @@
+"""Paper Section 4.8: the barrel shifter is off the critical path and its
+energy is negligible.
+
+Paper anchors: a 32-bit rotate costs <= 0.4 ns and ~1.5 pJ at 90nm [9];
+CACTI puts an 8KB direct-mapped cache access at 0.78 ns and a 32KB 2-way
+access at 240 pJ.  A CPPC shifter also needs only n/8*log2(n/8) muxes
+instead of n*log2(n).
+"""
+
+from repro.cppc import BarrelShifterModel
+from repro.energy import CacheEnergyModel
+from repro.harness import format_table
+
+from conftest import publish
+
+
+def compute_shifter_comparison():
+    rows = []
+    for width in (32, 64, 256):
+        model = BarrelShifterModel(width_bits=width)
+        rows.append(
+            [
+                width,
+                model.num_stages,
+                model.num_muxes,
+                model.general_shifter_muxes,
+                model.delay_ns,
+                model.energy_pj,
+            ]
+        )
+    return rows
+
+
+def test_shifter_overhead(benchmark):
+    rows = benchmark(compute_shifter_comparison)
+
+    cache_8kb = CacheEnergyModel(
+        size_bytes=8 * 1024, ways=1, block_bytes=32, unit_bytes=8,
+        check_bits_per_unit=0, tech_nm=90.0,
+    )
+    cache_32kb = CacheEnergyModel(
+        size_bytes=32 * 1024, ways=2, block_bytes=32, unit_bytes=8,
+        check_bits_per_unit=8, tech_nm=90.0,
+    )
+    table = format_table(
+        ["width", "stages", "CPPC muxes", "general muxes", "delay ns", "energy pJ"],
+        rows,
+        title="Section 4.8: barrel shifter cost",
+    )
+    table += (
+        f"\n\ncache access time (8KB direct-mapped, CACTI anchor): "
+        f"{cache_8kb.access_time_ns:.2f} ns"
+        f"\ncache access energy (32KB 2-way, CACTI anchor): "
+        f"{cache_32kb.read_unit_pj:.0f} pJ"
+    )
+    publish("shifter_overhead", table)
+
+    l1_shifter = BarrelShifterModel(width_bits=64)
+    benchmark.extra_info.update(
+        shifter_delay_ns=l1_shifter.delay_ns,
+        cache_access_ns=cache_8kb.access_time_ns,
+        shifter_energy_pj=l1_shifter.energy_pj,
+        cache_access_pj=cache_32kb.read_unit_pj,
+    )
+
+    # The paper's two claims.
+    assert l1_shifter.delay_ns < cache_8kb.access_time_ns, (
+        "shifter must be off the critical path"
+    )
+    assert l1_shifter.energy_pj < 0.05 * cache_32kb.read_unit_pj, (
+        "shifter energy must be negligible next to an array access"
+    )
+    # Structural saving: byte-granular rotate-left-only shifters are an
+    # order of magnitude smaller than general shifters.
+    for _w, _s, cppc_muxes, general_muxes, _d, _e in rows:
+        assert cppc_muxes * 8 <= general_muxes

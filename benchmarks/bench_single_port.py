@@ -1,0 +1,74 @@
+"""Paper Section 7 (future work): single-ported caches.
+
+"We will also evaluate single-ported caches and their impact on the
+read-before-write operations."  This bench runs the detailed pipeline
+over representative benchmarks with one shared array port versus the
+default split read/write ports, for every scheme.
+
+Findings to record (not paper numbers — this *is* the future work): the
+single port slows every scheme absolutely, and the scheme-vs-parity
+overhead ratios stay ordered (CPPC < 2-D parity) in both configurations.
+"""
+
+from repro.harness import format_table
+from repro.timing import PipelineConfig, simulate_detailed_cpi, timing_policy
+
+from conftest import publish
+
+SUBSET = ("gzip", "eon", "vortex")
+SCHEMES = ("parity", "cppc", "2d-parity")
+
+
+def run_port_study(runs):
+    rows = []
+    for run in runs:
+        if run.name not in SUBSET:
+            continue
+        for single in (False, True):
+            cfg = PipelineConfig(single_port=single)
+            cpis = {
+                scheme: simulate_detailed_cpi(
+                    run.events, timing_policy(scheme), cfg,
+                    units_per_block=run.units_per_block,
+                ).cpi
+                for scheme in SCHEMES
+            }
+            rows.append(
+                [
+                    run.name,
+                    "single" if single else "dual",
+                    cpis["parity"],
+                    cpis["cppc"] / cpis["parity"],
+                    cpis["2d-parity"] / cpis["parity"],
+                ]
+            )
+    return rows
+
+
+def test_single_port_study(benchmark, bench_runs):
+    rows = benchmark(run_port_study, bench_runs)
+
+    publish(
+        "single_port",
+        format_table(
+            ["benchmark", "ports", "parity CPI", "cppc norm", "2d norm"],
+            rows,
+            title="Section 7: single-ported vs dual-ported data arrays",
+            precision=4,
+        ),
+    )
+
+    by_key = {(r[0], r[1]): r for r in rows}
+    for name in SUBSET:
+        dual = by_key[(name, "dual")]
+        single = by_key[(name, "single")]
+        # The single port slows the baseline itself...
+        assert single[2] > dual[2], f"{name}: single port must cost cycles"
+        # ...and the scheme ordering survives in both configurations.
+        for row in (dual, single):
+            assert row[3] <= row[4] + 1e-9, f"{name}: ordering broken"
+            assert row[3] >= 1.0 - 1e-9
+    benchmark.extra_info.update(
+        gzip_dual_parity_cpi=by_key[("gzip", "dual")][2],
+        gzip_single_parity_cpi=by_key[("gzip", "single")][2],
+    )

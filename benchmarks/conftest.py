@@ -1,0 +1,39 @@
+"""Shared infrastructure for the paper-reproduction benchmarks.
+
+Each bench file regenerates one table or figure of the paper's evaluation
+(plus ablations).  The expensive part — replaying the fifteen synthetic
+SPEC2000-like traces through the Table 1 hierarchy — happens once per
+session in :func:`bench_runs`; the per-figure benches post-process those
+shared runs, assert the paper's qualitative shape, print the paper-style
+table, and archive it under ``benchmarks/results/``.
+
+Scale with ``REPRO_BENCH_REFS`` (references per benchmark, default
+60000; the paper used 100M-instruction SimPoints).
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+import pytest
+
+from repro.harness import run_all_benchmarks
+
+#: References per benchmark trace; override with REPRO_BENCH_REFS.
+BENCH_REFERENCES = int(os.environ.get("REPRO_BENCH_REFS", "60000"))
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def bench_runs():
+    """One shared simulation of all fifteen benchmarks."""
+    return run_all_benchmarks(n_references=BENCH_REFERENCES)
+
+
+def publish(name: str, text: str) -> None:
+    """Print a result table and archive it under benchmarks/results/."""
+    print(f"\n{text}\n")
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")

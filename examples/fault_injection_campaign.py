@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Monte-Carlo fault injection: outcome distributions per scheme.
+
+Injects random single-bit (and optionally spatial) faults into live
+hierarchies running a workload, and classifies every trial as benign,
+corrected, DUE or SDC.  This is the dynamic counterpart of the paper's
+analytical reliability comparison: parity turns dirty faults into machine
+checks, an unprotected cache silently corrupts data, and CPPC corrects.
+
+Run:  python examples/fault_injection_campaign.py [trials]
+"""
+
+import sys
+
+from repro.cppc import CppcProtection
+from repro.faults import CampaignConfig, FaultCampaign, Outcome
+from repro.memsim import NoProtection, ParityProtection, SecdedProtection
+
+
+def factory_for(name):
+    def factory(level, unit_bits):
+        if name == "cppc":
+            return CppcProtection(data_bits=unit_bits)
+        if name == "parity":
+            return ParityProtection(data_bits=unit_bits)
+        if name == "secded":
+            return SecdedProtection(data_bits=unit_bits)
+        return NoProtection()
+    return factory
+
+
+def run_campaign(scheme, trials, fault_kind="temporal", shape=(4, 4)):
+    config = CampaignConfig(
+        scheme_factory=factory_for(scheme),
+        benchmark="gcc",
+        trials=trials,
+        warmup_references=1500,
+        post_fault_references=1000,
+        fault_kind=fault_kind,
+        spatial_shape=shape,
+        dirty_only=(fault_kind == "temporal"),
+        seed=7,
+    )
+    return FaultCampaign(config).run()
+
+
+def main() -> None:
+    trials = int(sys.argv[1]) if len(sys.argv) > 1 else 25
+
+    print(f"=== fault-injection campaigns ({trials} trials each) ===\n")
+    print("-- single-bit faults in dirty L1 data --")
+    header = f"{'scheme':12s}" + "".join(f"{o.value:>11s}" for o in Outcome)
+    print(header)
+    for scheme in ("none", "parity", "secded", "cppc"):
+        result = run_campaign(scheme, trials)
+        counts = result.counts
+        row = f"{scheme:12s}" + "".join(
+            f"{counts[o]:11d}" for o in Outcome
+        )
+        print(row)
+
+    print("\n-- 4x4 spatial strikes anywhere in the L1 array --")
+    print(header)
+    for scheme in ("secded", "cppc"):
+        result = run_campaign(scheme, trials, fault_kind="spatial")
+        counts = result.counts
+        print(f"{scheme:12s}" + "".join(f"{counts[o]:11d}" for o in Outcome))
+
+    print("\nReading the table: 'none' leaks SDCs, 'parity' converts dirty")
+    print("faults to DUEs (halts), 'secded' and 'cppc' correct them; only")
+    print("CPPC does so at parity-level cost (see the energy benches).")
+
+
+if __name__ == "__main__":
+    main()

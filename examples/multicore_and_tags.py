@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""The paper's Section 7 future work, running: multiprocessor CPPC and
+CPPC-protected tags.
+
+Part 1 shares a store stream across 1/2/4 cores under write-invalidate
+coherence and shows the read-before-write reduction the paper predicts.
+Part 2 corrupts a cache *tag* and recovers it from the tag register pair
+(tags are read-only until replaced, so no read-before-write is needed).
+
+Run:  python examples/multicore_and_tags.py
+"""
+
+import random
+
+from repro.cppc import CppcProtection, TagCppc
+from repro.memsim import Cache, CoherentSystem, MainMemory, small_coherent_config
+
+
+def cppc_factory(core, level, unit_bits):
+    return CppcProtection(data_bits=unit_bits)
+
+
+def multicore_demo() -> None:
+    print("=== Part 1: write-invalidate sharing reduces RBW work ===")
+    rng = random.Random(11)
+    stream = [
+        (rng.randrange(160) * 8, rng.getrandbits(64).to_bytes(8, "big"))
+        for _ in range(3000)
+    ]
+    print(f"{'cores':>6s} {'RBWs':>7s} {'RBW/store':>10s} "
+          f"{'dirty invalidations':>20s}")
+    for cores in (1, 2, 4):
+        system = CoherentSystem(
+            cores, small_coherent_config(), protection_factory=cppc_factory
+        )
+        for i, (addr, value) in enumerate(stream):
+            system.store(i % cores, addr, value)
+        rbw = system.total_read_before_writes()
+        print(f"{cores:6d} {rbw:7d} {rbw / len(stream):10.3f} "
+              f"{system.bus.dirty_invalidations:20d}")
+    print("Invalidations move dirty words into remote R2 registers before")
+    print("their owner can store to them again — fewer read-before-writes,")
+    print("as Section 7 anticipates.\n")
+
+
+def tag_demo() -> None:
+    print("=== Part 2: recovering a corrupted cache tag ===")
+    cache = Cache(
+        "L1D", 32 * 1024, 2, 32,
+        next_level=MainMemory(32),
+        protection=CppcProtection(data_bits=64),
+        tag_protection=TagCppc(tag_bits=40, parity_ways=8),
+    )
+    cache.store(0xBEEF00, b"\x42" * 8)
+    set_index = cache.mapper.set_index(0xBEEF00)
+    way = next(w for w in range(cache.ways) if cache.line(set_index, w).valid)
+    true_tag = cache.line(set_index, way).tag
+    print(f"stored dirty data under tag {true_tag:#x}")
+
+    cache.corrupt_tag(set_index, way, 0b1001)
+    print(f"tag corrupted to {cache.line(set_index, way).tag:#x} — without "
+          "protection this dirty line would be stranded")
+
+    result = cache.load(0xBEEF00, 8)
+    print(f"lookup hit: {result.hit}, data: {result.data.hex()}")
+    print(f"tag restored to {cache.line(set_index, way).tag:#x} "
+          f"(recoveries: {cache.tag_protection.recoveries})")
+
+
+def main() -> None:
+    multicore_demo()
+    tag_demo()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Compare the four protection schemes on one workload: a miniature of
+the paper's whole evaluation (CPI, energy, area, reliability).
+
+Run:  python examples/protection_comparison.py [benchmark] [references]
+"""
+
+import sys
+
+from repro.energy import area_comparison, normalized_energies
+from repro.harness import figure10, run_benchmark, table2, table3
+from repro.memsim import PAPER_CONFIG
+from repro.reliability import (
+    mttf_cppc_years,
+    mttf_parity_years,
+    mttf_secded_years,
+)
+
+
+def main() -> None:
+    benchmark = sys.argv[1] if len(sys.argv) > 1 else "gcc"
+    references = int(sys.argv[2]) if len(sys.argv) > 2 else 30_000
+
+    print(f"=== protection-scheme comparison on '{benchmark}' "
+          f"({references} references) ===\n")
+    run = run_benchmark(benchmark, n_references=references)
+    print(f"L1 miss rate {run.l1.miss_rate:.1%}, "
+          f"L2 miss rate {run.l2.miss_rate:.1%}, "
+          f"stores to dirty words: {run.l1.stores_to_dirty_units}")
+
+    print("\n-- CPI normalised to 1-D parity (paper Figure 10) --")
+    fig10 = figure10([run])
+    for scheme in ("cppc", "2d-parity"):
+        print(f"{scheme:12s} {fig10.normalized(scheme, benchmark):.4f}")
+
+    print("\n-- dynamic energy normalised to 1-D parity (Figures 11/12) --")
+    l1_energy = normalized_energies(run.l1, PAPER_CONFIG.l1d)
+    l2_energy = normalized_energies(run.l2, PAPER_CONFIG.l2)
+    print(f"{'scheme':12s} {'L1':>8s} {'L2':>8s}")
+    for scheme in ("parity", "cppc", "secded", "2d-parity"):
+        print(f"{scheme:12s} {l1_energy[scheme]:8.3f} {l2_energy[scheme]:8.3f}")
+
+    print("\n-- area overhead vs raw data array (Section 5.1) --")
+    for scheme, overhead in area_comparison(PAPER_CONFIG.l1d).items():
+        print(f"{scheme:12s} {overhead:.2%}")
+
+    print("\n-- MTTF from this run's measured dirty data (Table 3 method) --")
+    inputs = table2([run]).reliability_inputs("L1")
+    print(f"measured L1 dirty fraction {inputs.dirty_fraction:.1%}, "
+          f"Tavg {inputs.tavg_cycles:.0f} cycles")
+    print(f"{'parity':12s} {mttf_parity_years(inputs):12.3g} years")
+    print(f"{'cppc':12s} {mttf_cppc_years(inputs):12.3g} years")
+    print(f"{'secded':12s} {mttf_secded_years(inputs, 64):12.3g} years")
+
+    print("\n-- paper-input Table 3 for reference --")
+    print(table3().to_text())
+
+
+if __name__ == "__main__":
+    main()

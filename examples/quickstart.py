@@ -1,0 +1,50 @@
+#!/usr/bin/env python3
+"""Quickstart: build the paper's CPPC hierarchy, take a hit, recover.
+
+Builds the Table 1 system (32KB/2-way L1 CPPC over a 1MB/4-way L2 CPPC),
+stores some data, flips a bit in a *dirty* word — the case plain parity
+cannot survive — and shows CPPC detecting and repairing it on the next
+load.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import build_cppc_hierarchy
+
+def main() -> None:
+    hierarchy = build_cppc_hierarchy()
+    l1 = hierarchy.l1d
+
+    print("=== CPPC quickstart ===")
+    print(f"L1: {l1.size_bytes // 1024}KB {l1.ways}-way, "
+          f"{l1.block_bytes}B lines, scheme={l1.protection.name}")
+
+    # 1. Store a value: the word becomes dirty, its rotated value enters R1.
+    address = 0x1000
+    hierarchy.store(address, b"\xDE\xAD\xBE\xEF\x00\x11\x22\x33")
+    pair = l1.protection.registers.pairs[0]
+    print(f"\nstored 8 bytes at {address:#x}")
+    print(f"R1 = {pair.r1:#018x}   R2 = {pair.r2:#018x}")
+
+    # 2. A particle strike flips the MSB of that dirty word.  Parity-only
+    #    caches halt here (the data exists nowhere else).
+    loc = l1.locate(address)
+    l1.corrupt_data(loc, 1 << 63)
+    corrupted, _check, dirty = l1.peek_unit(loc)
+    print(f"\ninjected a single-bit fault (dirty={dirty})")
+    print(f"stored word is now {corrupted:#018x}  (wrong!)")
+
+    # 3. The next load checks parity, detects the fault, and recovery
+    #    reconstructs the word from R1 ^ R2 ^ (all other dirty words).
+    result = hierarchy.load(address, 8)
+    print(f"\nload detected a fault: {result.detected_fault}")
+    print(f"returned data: {result.data.hex()}  (correct again)")
+    print(f"recoveries run by the L1 CPPC: {l1.protection.recoveries}")
+
+    # 4. Statistics the evaluation is built on.
+    snapshot = l1.stats.snapshot()
+    print("\nL1 counters:", {k: v for k, v in snapshot.items() if v})
+
+
+if __name__ == "__main__":
+    main()

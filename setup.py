@@ -1,0 +1,7 @@
+"""Setup shim: enables `python setup.py develop` / legacy installs in
+offline environments that lack the `wheel` package (all real metadata
+lives in pyproject.toml)."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,19 @@
+"""Protection codes: parity, interleaved parity, SECDED, 2-D parity."""
+
+from .base import DetectionOutcome, Inspection, WordCode
+from .hamming import SecdedCode
+from .interleave import BitInterleaving
+from .parity import InterleavedParity, byte_parity_code, word_parity_code
+from .twod import VerticalParity
+
+__all__ = [
+    "DetectionOutcome",
+    "Inspection",
+    "WordCode",
+    "SecdedCode",
+    "BitInterleaving",
+    "InterleavedParity",
+    "byte_parity_code",
+    "word_parity_code",
+    "VerticalParity",
+]

@@ -1,0 +1,92 @@
+"""Common interface for per-word protection codes.
+
+A :class:`WordCode` protects a single data word of ``data_bits`` bits with
+``check_bits`` redundant bits.  The cache simulator stores the check word
+alongside each data word; fault injection flips bits of either without
+updating the other, and a later read runs :meth:`inspect` to find out what
+the code sees.
+"""
+
+from __future__ import annotations
+
+import abc
+import dataclasses
+import enum
+from typing import Optional
+
+from ..util import check_word
+
+
+class DetectionOutcome(enum.Enum):
+    """What a code inspection concluded about a (data, check) pair."""
+
+    CLEAN = "clean"
+    #: An error was detected; the code itself cannot repair it.
+    DETECTED = "detected"
+    #: An error was detected and repaired by the code (SECDED single-bit).
+    CORRECTED = "corrected"
+    #: An error was detected and flagged uncorrectable (SECDED double-bit).
+    UNCORRECTABLE = "uncorrectable"
+
+
+@dataclasses.dataclass(frozen=True)
+class Inspection:
+    """Result of checking one word against its stored check bits.
+
+    Attributes:
+        outcome: classification of what the code observed.
+        syndrome: raw syndrome (code specific; 0 means clean).
+        corrected_data: repaired data word when ``outcome`` is CORRECTED.
+        faulty_parities: for parity codes, the indices of parity groups
+            whose check failed (MSB-first bit-in-byte classes).
+    """
+
+    outcome: DetectionOutcome
+    syndrome: int = 0
+    corrected_data: Optional[int] = None
+    faulty_parities: frozenset = frozenset()
+
+    @property
+    def detected(self) -> bool:
+        """True when any error was observed."""
+        return self.outcome is not DetectionOutcome.CLEAN
+
+
+class WordCode(abc.ABC):
+    """A protection code applied independently to each data word."""
+
+    def __init__(self, data_bits: int, check_bits: int):
+        self.data_bits = data_bits
+        self.check_bits = check_bits
+
+    @abc.abstractmethod
+    def encode(self, data: int) -> int:
+        """Compute the check word for ``data``."""
+
+    @abc.abstractmethod
+    def inspect(self, data: int, check: int) -> Inspection:
+        """Check ``data`` against stored ``check`` bits."""
+
+    def can_correct(self) -> bool:
+        """Whether the code can repair any error on its own."""
+        return False
+
+    @property
+    def overhead_bits_per_word(self) -> int:
+        """Redundant bits added per data word."""
+        return self.check_bits
+
+    @property
+    def relative_overhead(self) -> float:
+        """Check bits as a fraction of data bits."""
+        return self.check_bits / self.data_bits
+
+    def _validate(self, data: int, check: int) -> None:
+        check_word(data, self.data_bits)
+        check_word(check, self.check_bits)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"{type(self).__name__}(data_bits={self.data_bits}, "
+            f"check_bits={self.check_bits})"
+        )

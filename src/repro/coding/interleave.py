@@ -1,0 +1,88 @@
+"""Physical bit interleaving (paper Sections 1 and 6).
+
+With interleaving degree ``k``, the bits of ``k`` logical words are woven
+into one physical row: physical column ``j`` holds bit ``j // k`` of
+logical word ``j % k``.  A spatial burst of up to ``k`` adjacent physical
+columns therefore flips at most one bit per logical word, letting a
+per-word SECDED code correct it.
+
+The cost is energy: every access to one logical word precharges the
+bitlines of the whole physical row, multiplying bitline energy by ``k``
+(paper Section 6.2, following [12]).  The energy model consumes
+:attr:`BitInterleaving.bitline_energy_factor`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Tuple
+
+from ..errors import ConfigurationError
+
+
+@dataclasses.dataclass(frozen=True)
+class BitInterleaving:
+    """Descriptor of a physical bit-interleaving layout.
+
+    Attributes:
+        degree: number of logical words interleaved per physical row.
+        word_bits: width of each logical word.
+    """
+
+    degree: int
+    word_bits: int = 64
+
+    def __post_init__(self):
+        if self.degree < 1:
+            raise ConfigurationError("interleaving degree must be >= 1")
+        if self.word_bits < 1:
+            raise ConfigurationError("word width must be >= 1")
+
+    @property
+    def row_bits(self) -> int:
+        """Width of one physical row."""
+        return self.degree * self.word_bits
+
+    @property
+    def bitline_energy_factor(self) -> int:
+        """Multiplier on precharged bitlines per logical access."""
+        return self.degree
+
+    def physical_column(self, word_index: int, bit_index: int) -> int:
+        """Physical column of MSB-first ``bit_index`` of ``word_index``."""
+        if not 0 <= word_index < self.degree:
+            raise ConfigurationError(
+                f"word index {word_index} out of range for degree {self.degree}"
+            )
+        if not 0 <= bit_index < self.word_bits:
+            raise ConfigurationError(
+                f"bit index {bit_index} out of range for {self.word_bits} bits"
+            )
+        return bit_index * self.degree + word_index
+
+    def logical_location(self, column: int) -> Tuple[int, int]:
+        """Inverse of :meth:`physical_column`: ``(word_index, bit_index)``."""
+        if not 0 <= column < self.row_bits:
+            raise ConfigurationError(
+                f"column {column} out of range for row of {self.row_bits} bits"
+            )
+        return column % self.degree, column // self.degree
+
+    def burst_to_word_bits(self, start_column: int, length: int) -> Dict[int, List[int]]:
+        """Map a burst of ``length`` adjacent columns to per-word bit flips.
+
+        Returns ``{word_index: [bit_index, ...]}``.  With ``length <=
+        degree`` every word receives at most one flipped bit — the property
+        that makes interleaved SECDED tolerate spatial bursts.
+        """
+        if length < 1:
+            raise ConfigurationError("burst length must be >= 1")
+        hits: Dict[int, List[int]] = {}
+        for column in range(start_column, min(start_column + length, self.row_bits)):
+            word, bit = self.logical_location(column)
+            hits.setdefault(word, []).append(bit)
+        return hits
+
+    def max_correctable_burst(self) -> int:
+        """Longest spatial burst a per-word SECDED can always repair."""
+        return self.degree

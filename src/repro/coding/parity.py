@@ -1,0 +1,97 @@
+"""One-dimensional and interleaved parity codes.
+
+``InterleavedParity(ways=8)`` is the paper's 8-way interleaved parity:
+``P[i] = XOR(data_bit[i], data_bit[i+8], ..., data_bit[i+56])`` (paper
+Section 3.6), i.e. parity group ``i`` covers bit ``i`` of every byte when
+bits are indexed MSB-first.  ``ways=1`` degenerates to one parity bit per
+word — the classic one-dimensional parity cache.
+
+Interleaved parity detects every spatial burst of up to ``ways`` adjacent
+bits inside a word, because such a burst touches each parity group at most
+once.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, List
+
+from ..errors import ConfigurationError
+from ..util import get_bit, parity
+from .base import DetectionOutcome, Inspection, WordCode
+
+
+class InterleavedParity(WordCode):
+    """k-way interleaved parity over a data word.
+
+    Parity group ``i`` (0-based) covers the MSB-first bit indices
+    ``{k : k mod ways == i}``.  The check word stores group 0's bit in its
+    MSB-first bit 0, group 1 in bit 1, and so on.
+    """
+
+    def __init__(self, data_bits: int = 64, ways: int = 8):
+        if ways < 1:
+            raise ConfigurationError(f"parity ways must be >= 1, got {ways}")
+        if data_bits % ways:
+            raise ConfigurationError(
+                f"data width {data_bits} must be a multiple of ways {ways}"
+            )
+        super().__init__(data_bits=data_bits, check_bits=ways)
+        self.ways = ways
+        # Precompute the mask of each parity group for fast encode.
+        self._group_masks: List[int] = []
+        for i in range(ways):
+            m = 0
+            for k in range(i, data_bits, ways):
+                m |= 1 << (data_bits - 1 - k)
+            self._group_masks.append(m)
+
+    def encode(self, data: int) -> int:
+        check = 0
+        for i, group_mask in enumerate(self._group_masks):
+            bit = parity(data & group_mask)
+            check |= bit << (self.ways - 1 - i)
+        return check
+
+    def inspect(self, data: int, check: int) -> Inspection:
+        self._validate(data, check)
+        syndrome = self.encode(data) ^ check
+        if syndrome == 0:
+            return Inspection(outcome=DetectionOutcome.CLEAN)
+        faulty = frozenset(
+            i for i in range(self.ways) if get_bit(syndrome, i, self.ways)
+        )
+        return Inspection(
+            outcome=DetectionOutcome.DETECTED,
+            syndrome=syndrome,
+            faulty_parities=faulty,
+        )
+
+    def group_of_bit(self, bit_index: int) -> int:
+        """Parity group covering MSB-first data bit ``bit_index``."""
+        if not 0 <= bit_index < self.data_bits:
+            raise ConfigurationError(
+                f"bit index {bit_index} out of range for {self.data_bits} bits"
+            )
+        return bit_index % self.ways
+
+    def bits_of_group(self, group: int) -> FrozenSet[int]:
+        """MSB-first data bit indices covered by parity group ``group``."""
+        if not 0 <= group < self.ways:
+            raise ConfigurationError(f"parity group {group} out of range")
+        return frozenset(range(group, self.data_bits, self.ways))
+
+    def group_mask(self, group: int) -> int:
+        """Data-word mask of the bits covered by ``group``."""
+        if not 0 <= group < self.ways:
+            raise ConfigurationError(f"parity group {group} out of range")
+        return self._group_masks[group]
+
+
+def word_parity_code(data_bits: int = 64) -> InterleavedParity:
+    """One parity bit for the entire word (1-D parity)."""
+    return InterleavedParity(data_bits=data_bits, ways=1)
+
+
+def byte_parity_code(data_bits: int = 64) -> InterleavedParity:
+    """Eight-way interleaved parity (the paper's CPPC configuration)."""
+    return InterleavedParity(data_bits=data_bits, ways=8)

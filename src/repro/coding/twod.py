@@ -1,0 +1,67 @@
+"""Two-dimensional parity (horizontal + vertical), paper Section 2 / [12].
+
+Horizontal parity: k-way interleaved parity per row detects errors.
+Vertical parity: a register holding the XOR of every data row in the
+protected array corrects them — when the horizontal parity flags a row,
+XORing the vertical register with all *other* rows reconstructs it.
+
+Keeping the vertical register current requires a read-before-write on
+**every** store (old data must be XORed out) and on **every** miss fill
+(the whole replaced line must be read and XORed out, the new line XORed
+in).  That per-access cost is the energy story of Figures 11 and 12.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..errors import ConfigurationError
+from ..util import check_word, mask, xor_reduce
+
+
+class VerticalParity:
+    """XOR-of-all-rows register for a two-dimensional parity array.
+
+    One instance protects one array of rows that are ``row_bits`` wide
+    (the paper's evaluation uses a single vertical parity row for the
+    whole cache).
+    """
+
+    def __init__(self, row_bits: int):
+        if row_bits < 1:
+            raise ConfigurationError("row width must be positive")
+        self.row_bits = row_bits
+        self._register = 0
+
+    @property
+    def value(self) -> int:
+        """Current contents of the vertical parity register."""
+        return self._register
+
+    def clear(self) -> None:
+        """Reset, as if the array were zero-filled."""
+        self._register = 0
+
+    def insert(self, row: int) -> None:
+        """Account for a new row entering the array (e.g. a line fill)."""
+        check_word(row, self.row_bits)
+        self._register ^= row
+
+    def remove(self, row: int) -> None:
+        """Account for a row leaving the array (e.g. an eviction)."""
+        check_word(row, self.row_bits)
+        self._register ^= row
+
+    def update(self, old_row: int, new_row: int) -> None:
+        """Account for an in-place overwrite: the read-before-write path."""
+        check_word(old_row, self.row_bits)
+        check_word(new_row, self.row_bits)
+        self._register ^= old_row ^ new_row
+
+    def reconstruct(self, other_rows: Iterable[int]) -> int:
+        """Rebuild the one faulty row from the register and all other rows."""
+        return (self._register ^ xor_reduce(other_rows)) & mask(self.row_bits)
+
+    def matches(self, rows: Iterable[int]) -> bool:
+        """True when the register equals the XOR of ``rows`` (no fault)."""
+        return self._register == xor_reduce(rows) & mask(self.row_bits)

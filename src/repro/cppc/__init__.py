@@ -1,0 +1,25 @@
+"""CPPC core: XOR register pairs, byte shifting, recovery and location."""
+
+from .geometry import PhysicalGeometry
+from .locator import FaultLocator, FaultyUnit
+from .protection import CppcProtection, l1_cppc, l2_cppc
+from .recovery import RecoveryReport, recover
+from .registers import RegisterFile, RegisterPair
+from .shifting import BarrelShifterModel, RotationScheme
+from .tags import TagCppc
+
+__all__ = [
+    "PhysicalGeometry",
+    "FaultLocator",
+    "FaultyUnit",
+    "CppcProtection",
+    "l1_cppc",
+    "l2_cppc",
+    "RecoveryReport",
+    "recover",
+    "RegisterFile",
+    "RegisterPair",
+    "BarrelShifterModel",
+    "RotationScheme",
+    "TagCppc",
+]

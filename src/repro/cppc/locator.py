@@ -1,0 +1,234 @@
+"""The CPPC fault locator (paper Section 4.5).
+
+When several dirty words fail parity checks that *share* parity groups,
+recovery cannot separate their error patterns directly; CPPC assumes the
+event is one spatial multi-bit strike and locates the flipped bits from
+three pieces of information:
+
+1. which parity groups each faulty word flagged,
+2. the rotation classes of the faulty words, and
+3. the register residue ``R3 = R1 ^ R2 ^ XOR(rotated dirty words)``,
+   which equals the XOR of the *rotated error patterns*.
+
+A strike contained in an ``N x N`` square hits, within each word, either a
+single byte ``b`` or two adjacent bytes ``(b, b+1)`` — the same pair for
+every affected row.  The locator enumerates those alignment hypotheses and
+runs the paper's iterative peeling for each: repeatedly find a register
+byte fed by exactly one unresolved (word, byte) pair, read that word's
+error byte straight out of R3, infer its other byte from the still
+unexplained parity groups, XOR the word's rotated pattern out of R3 and
+continue.  A hypothesis survives only if it explains every flagged parity
+group and zeroes R3 exactly.
+
+If no hypothesis survives, or more than one *distinct* error-pattern
+assignment survives (e.g. the full ``8x8`` strike, or faults in rows
+exactly ``num_classes/2`` apart — the two uncorrectable cases of Section
+4.6), the fault is a DUE and :class:`~repro.errors.FaultLocatorError` is
+raised.  Note the aliasing hazard of Section 4.7 is faithfully present:
+*temporal* faults arranged like a spatial strike resolve to a single
+consistent — but wrong — solution and get miscorrected, exactly as the
+paper warns.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from ..errors import ConfigurationError, FaultLocatorError
+from ..memsim.types import UnitLocation
+from ..util import get_byte
+from .shifting import RotationScheme
+
+#: Bits per parity group inside one byte — the locator requires the
+#: paper's configuration of one parity bit per byte (8-way interleaving),
+#: where parity group ``i`` is bit ``i`` of every byte.
+PARITY_WAYS = 8
+
+
+@dataclasses.dataclass(frozen=True)
+class FaultyUnit:
+    """One dirty unit whose parity check failed.
+
+    Attributes:
+        loc: cache location of the unit.
+        rotation_class: its byte-shifting class.
+        row: its physical row (within its way).
+        stored_value: the (corrupted) value read from the array.
+        faulty_parities: indices of the parity groups that flagged.
+    """
+
+    loc: UnitLocation
+    rotation_class: int
+    row: int
+    stored_value: int
+    faulty_parities: FrozenSet[int]
+
+
+def _byte_of_groups(groups: FrozenSet[int]) -> int:
+    """Byte with bit ``i`` set for every parity group ``i`` in ``groups``."""
+    out = 0
+    for g in groups:
+        out |= 1 << (PARITY_WAYS - 1 - g)
+    return out
+
+
+def _groups_of_byte(byte: int) -> FrozenSet[int]:
+    """Inverse of :func:`_byte_of_groups`."""
+    return frozenset(
+        g for g in range(PARITY_WAYS) if byte & (1 << (PARITY_WAYS - 1 - g))
+    )
+
+
+def _place_byte(byte: int, index: int, nbytes: int) -> int:
+    """Value with ``byte`` at MSB-first byte ``index`` and zeros elsewhere."""
+    return byte << (8 * (nbytes - 1 - index))
+
+
+class FaultLocator:
+    """Locates spatial multi-bit error patterns from parity + R3 evidence."""
+
+    def __init__(self, rotation: RotationScheme):
+        if rotation.unit_bytes * 8 % PARITY_WAYS:
+            raise ConfigurationError(
+                "locator requires byte-aligned units (8-way parity groups)"
+            )
+        self.rotation = rotation
+        self.nbytes = rotation.unit_bytes
+
+    # ------------------------------------------------------------------
+    def locate(
+        self, faulty_units: Sequence[FaultyUnit], r3: int
+    ) -> Dict[UnitLocation, int]:
+        """Return ``{location: error_xor_mask}`` for every faulty unit.
+
+        Raises :class:`FaultLocatorError` when the evidence is ambiguous or
+        inconsistent (a DUE in hardware).
+        """
+        if not faulty_units:
+            raise FaultLocatorError("locator invoked with no faulty units")
+        if r3 == 0:
+            raise FaultLocatorError("locator invoked with a zero residue")
+        classes = [u.rotation_class for u in faulty_units]
+        if len(set(classes)) != len(classes):
+            raise FaultLocatorError(
+                "faulty words share a rotation class with overlapping "
+                "parity groups; patterns are inseparable"
+            )
+        for u in faulty_units:
+            if not u.faulty_parities:
+                raise FaultLocatorError(f"faulty unit {u.loc} flags no parity group")
+
+        single_bytes, pairs = self._alignment_hypotheses(faulty_units, r3)
+        # Paper step 3 precedence: a common single byte is tried first;
+        # adjacent byte pairs are consulted only when no single-byte
+        # alignment explains the evidence.
+        for hypothesis_set in (single_bytes, pairs):
+            solutions: List[Dict[UnitLocation, int]] = []
+            for allowed_bytes in hypothesis_set:
+                solution = self._try_hypothesis(faulty_units, r3, allowed_bytes)
+                if solution is not None and solution not in solutions:
+                    solutions.append(solution)
+            if len(solutions) == 1:
+                return solutions[0]
+            if len(solutions) > 1:
+                raise FaultLocatorError(
+                    f"{len(solutions)} distinct fault locations are "
+                    "consistent with the evidence (e.g. a full-coverage "
+                    "strike or rows half a rotation period apart)"
+                )
+        raise FaultLocatorError(
+            "no byte alignment explains the parity flags and R3 residue"
+        )
+
+    # ------------------------------------------------------------------
+    def _alignment_hypotheses(
+        self, faulty_units: Sequence[FaultyUnit], r3: int
+    ) -> Tuple[List[Tuple[int, ...]], List[Tuple[int, ...]]]:
+        """Candidate fault columns: single bytes and adjacent byte pairs.
+
+        This is steps 1-3 of the paper's procedure: derive each word's
+        candidate source bytes from the non-zero R3 bytes, then keep the
+        single bytes common to all words (tried first) and the adjacent
+        pairs touching every word's candidate set (the fallback).
+        """
+        nonzero_r3 = [
+            r for r in range(self.nbytes) if get_byte(r3, r, self.nbytes)
+        ]
+        candidate_sets = []
+        for u in faulty_units:
+            candidates = {
+                self.rotation.src_byte(r, u.rotation_class) for r in nonzero_r3
+            }
+            candidate_sets.append(candidates)
+        common = set.intersection(*candidate_sets)
+        single_bytes: List[Tuple[int, ...]] = [(b,) for b in sorted(common)]
+        pairs: List[Tuple[int, ...]] = []
+        for b in range(self.nbytes - 1):
+            pair = {b, b + 1}
+            if all(s & pair for s in candidate_sets):
+                pairs.append((b, b + 1))
+        return single_bytes, pairs
+
+    # ------------------------------------------------------------------
+    def _try_hypothesis(
+        self,
+        faulty_units: Sequence[FaultyUnit],
+        r3: int,
+        allowed_bytes: Tuple[int, ...],
+    ) -> Optional[Dict[UnitLocation, int]]:
+        """Run the iterative peeling (paper step 4) under one alignment.
+
+        Returns the per-unit error masks, or None when the hypothesis is
+        inconsistent.
+        """
+        remaining_r3 = r3
+        unresolved = list(faulty_units)
+        deltas: Dict[UnitLocation, int] = {}
+
+        while unresolved:
+            picked = self._find_singleton(unresolved, remaining_r3, allowed_bytes)
+            if picked is None:
+                return None
+            unit, src = picked
+            dest = self.rotation.dest_byte(src, unit.rotation_class)
+            pattern = get_byte(remaining_r3, dest, self.nbytes)
+            groups_here = _groups_of_byte(pattern)
+            if not groups_here or not groups_here <= unit.faulty_parities:
+                return None
+            remaining_groups = unit.faulty_parities - groups_here
+            delta = _place_byte(pattern, src, self.nbytes)
+            if remaining_groups:
+                other = [b for b in allowed_bytes if b != src]
+                if not other:
+                    return None
+                delta |= _place_byte(
+                    _byte_of_groups(remaining_groups), other[0], self.nbytes
+                )
+            deltas[unit.loc] = delta
+            remaining_r3 ^= self.rotation.rotate_in(delta, unit.rotation_class)
+            unresolved.remove(unit)
+
+        if remaining_r3 != 0:
+            return None
+        return deltas
+
+    def _find_singleton(
+        self,
+        unresolved: Sequence[FaultyUnit],
+        remaining_r3: int,
+        allowed_bytes: Tuple[int, ...],
+    ) -> Optional[Tuple[FaultyUnit, int]]:
+        """Find a non-zero R3 byte fed by exactly one (unit, source byte)."""
+        for dest in range(self.nbytes):
+            if not get_byte(remaining_r3, dest, self.nbytes):
+                continue
+            feeders = [
+                (u, src)
+                for u in unresolved
+                for src in allowed_bytes
+                if self.rotation.dest_byte(src, u.rotation_class) == dest
+            ]
+            if len(feeders) == 1:
+                return feeders[0]
+        return None

@@ -1,0 +1,129 @@
+"""Byte shifting — the barrel-shifter rotation of paper Section 4.
+
+Each data-array row belongs to a *rotation class* (``row mod num_classes``)
+and its value is rotated left by ``class`` bytes before entering R1/R2
+(paper Figure 6).  Vertically-adjacent bits of different rows thus land in
+different register bits, which is what makes vertical spatial multi-bit
+errors separable (Figure 5).
+
+:class:`RotationScheme` bundles the rotate-in / rotate-out transforms;
+``num_classes=8`` with byte granularity gives the paper's 8x8 spatial
+coverage.  The multi-register-pair variant of Section 4.11 sets
+``enabled=False`` — classes still partition rows among pairs, but values
+enter the registers un-rotated.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from ..errors import ConfigurationError
+from ..util import rotl_bytes, rotr_bytes
+
+
+@dataclasses.dataclass(frozen=True)
+class RotationScheme:
+    """Rotation-class geometry for one CPPC.
+
+    Attributes:
+        unit_bytes: width of a protection unit in bytes.
+        num_classes: number of rotation classes (spatial rows covered).
+        enabled: when False no rotation is applied (Section 4.11 variant).
+    """
+
+    unit_bytes: int = 8
+    num_classes: int = 8
+    enabled: bool = True
+
+    def __post_init__(self):
+        if self.unit_bytes < 1:
+            raise ConfigurationError("unit_bytes must be positive")
+        if not 1 <= self.num_classes:
+            raise ConfigurationError("num_classes must be >= 1")
+        if self.enabled and self.num_classes > self.unit_bytes:
+            raise ConfigurationError(
+                f"byte shifting needs num_classes ({self.num_classes}) <= "
+                f"unit_bytes ({self.unit_bytes}): each class must rotate by a "
+                "distinct byte amount"
+            )
+
+    def class_of_row(self, row: int) -> int:
+        """Rotation class of physical data-array row ``row``."""
+        if row < 0:
+            raise ConfigurationError(f"row must be non-negative, got {row}")
+        return row % self.num_classes
+
+    def rotate_in(self, value: int, rotation_class: int) -> int:
+        """Transform a unit value on its way into R1/R2."""
+        if not self.enabled:
+            return value
+        return rotl_bytes(value, rotation_class, self.unit_bytes)
+
+    def rotate_out(self, value: int, rotation_class: int) -> int:
+        """Inverse transform (recovery step 2 of Section 4.4)."""
+        if not self.enabled:
+            return value
+        return rotr_bytes(value, rotation_class, self.unit_bytes)
+
+    def dest_byte(self, src_byte: int, rotation_class: int) -> int:
+        """Register byte receiving ``src_byte`` of a class-``c`` unit.
+
+        With a left rotation by ``c`` bytes, source byte ``s`` (MSB-first)
+        lands at destination ``(s - c) mod unit_bytes``.
+        """
+        if not self.enabled:
+            return src_byte % self.unit_bytes
+        return (src_byte - rotation_class) % self.unit_bytes
+
+    def src_byte(self, dest_byte: int, rotation_class: int) -> int:
+        """Unit byte that feeds register byte ``dest_byte`` (inverse map)."""
+        if not self.enabled:
+            return dest_byte % self.unit_bytes
+        return (dest_byte + rotation_class) % self.unit_bytes
+
+
+@dataclasses.dataclass(frozen=True)
+class BarrelShifterModel:
+    """Hardware-cost model of the CPPC barrel shifter (paper Section 4.8).
+
+    A CPPC shifter rotates left only and by whole bytes only, so it needs
+    ``n/8 * log2(n/8)`` multiplexers in ``log2(n/8)`` stages instead of a
+    general shifter's ``n * log2(n)`` / ``log2(n)``.
+    """
+
+    width_bits: int = 64
+    #: Delay/energy reference points from [9] (32-bit shifter, 90nm).
+    reference_delay_ns: float = 0.4
+    reference_energy_pj: float = 1.5
+    reference_width_bits: int = 32
+
+    def __post_init__(self):
+        if self.width_bits < 8 or self.width_bits % 8:
+            raise ConfigurationError("shifter width must be a multiple of 8")
+
+    @property
+    def num_stages(self) -> int:
+        """Multiplexer stages (log2 of the byte count)."""
+        nbytes = self.width_bits // 8
+        return max(1, (nbytes - 1).bit_length())
+
+    @property
+    def num_muxes(self) -> int:
+        """Total multiplexers: (n/8) * log2(n/8)."""
+        return (self.width_bits // 8) * self.num_stages
+
+    @property
+    def general_shifter_muxes(self) -> int:
+        """Mux count of a general bit-granular shifter, for comparison."""
+        return self.width_bits * max(1, (self.width_bits - 1).bit_length())
+
+    @property
+    def delay_ns(self) -> float:
+        """Rotation delay, scaled from the 32-bit reference by stage count."""
+        ref_stages = max(1, (self.reference_width_bits // 8 - 1).bit_length())
+        return self.reference_delay_ns * self.num_stages / ref_stages
+
+    @property
+    def energy_pj(self) -> float:
+        """Rotation energy, scaled linearly with width from the reference."""
+        return self.reference_energy_pj * self.width_bits / self.reference_width_bits

@@ -1,0 +1,23 @@
+"""CACTI-style energy, latency and area models plus per-scheme accounting."""
+
+from .area import AreaReport, area_comparison, scheme_area
+from .cacti import CacheEnergyModel
+from .model import (
+    SCHEMES,
+    EnergyBreakdown,
+    energy_model_for,
+    normalized_energies,
+    scheme_energy,
+)
+
+__all__ = [
+    "AreaReport",
+    "area_comparison",
+    "scheme_area",
+    "CacheEnergyModel",
+    "SCHEMES",
+    "EnergyBreakdown",
+    "energy_model_for",
+    "normalized_energies",
+    "scheme_energy",
+]

@@ -1,0 +1,100 @@
+"""Storage/area accounting per protection scheme (paper Section 5.1).
+
+Area is reported as redundant storage bits plus small logic equivalents,
+relative to the unprotected data array.  The ordering the paper claims —
+parity < CPPC << SECDED and two-dimensional parity (which both add wide
+check storage *and* correction logic / an extra parity row) — falls out
+of the counts.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict
+
+from ..coding import SecdedCode
+from ..cppc.shifting import BarrelShifterModel
+from ..errors import ConfigurationError
+from ..memsim.hierarchy import CacheGeometry
+
+#: Rough gate-equivalent storage cost of one 2:1 multiplexer, expressed
+#: in SRAM-bit equivalents for area bookkeeping.
+_MUX_BIT_EQUIVALENT = 0.5
+#: Gate-equivalent cost of one SECDED encoder/decoder tree per check bit
+#: column, in SRAM-bit equivalents.
+_SECDED_LOGIC_BITS_PER_UNIT = 24.0
+
+
+@dataclasses.dataclass(frozen=True)
+class AreaReport:
+    """Redundant storage attributable to one scheme on one cache."""
+
+    scheme: str
+    check_storage_bits: float
+    register_bits: float = 0.0
+    logic_bit_equivalents: float = 0.0
+
+    @property
+    def total_bits(self) -> float:
+        """All redundancy in SRAM-bit equivalents."""
+        return self.check_storage_bits + self.register_bits + self.logic_bit_equivalents
+
+    def overhead_vs_data(self, data_bits: int) -> float:
+        """Redundancy as a fraction of the protected data array."""
+        return self.total_bits / data_bits
+
+
+def scheme_area(
+    scheme: str,
+    geometry: CacheGeometry,
+    *,
+    num_register_pairs: int = 1,
+) -> AreaReport:
+    """Area report for one scheme on one cache geometry."""
+    units = geometry.total_units
+    unit_bits = geometry.unit_bytes * 8
+
+    if scheme == "parity":
+        return AreaReport(scheme=scheme, check_storage_bits=units * 8.0)
+
+    if scheme == "cppc":
+        shifter = BarrelShifterModel(width_bits=unit_bits)
+        # Two shifters (R1 and R2 paths) per register pair.
+        logic = 2 * num_register_pairs * shifter.num_muxes * _MUX_BIT_EQUIVALENT
+        return AreaReport(
+            scheme=scheme,
+            check_storage_bits=units * 8.0,
+            register_bits=2.0 * num_register_pairs * unit_bits,
+            logic_bit_equivalents=logic,
+        )
+
+    if scheme == "secded":
+        check_bits = SecdedCode(data_bits=unit_bits).check_bits
+        return AreaReport(
+            scheme=scheme,
+            check_storage_bits=units * float(check_bits),
+            logic_bit_equivalents=units * _SECDED_LOGIC_BITS_PER_UNIT / 64.0,
+        )
+
+    if scheme == "2d-parity":
+        # Horizontal parity everywhere plus one vertical parity row.
+        return AreaReport(
+            scheme=scheme,
+            check_storage_bits=units * 8.0,
+            register_bits=float(unit_bits),
+        )
+
+    raise ConfigurationError(f"unknown scheme {scheme!r}")
+
+
+def area_comparison(
+    geometry: CacheGeometry, *, num_register_pairs: int = 1
+) -> Dict[str, float]:
+    """Overhead fraction of each scheme vs the raw data array."""
+    data_bits = geometry.size_bytes * 8
+    return {
+        scheme: scheme_area(
+            scheme, geometry, num_register_pairs=num_register_pairs
+        ).overhead_vs_data(data_bits)
+        for scheme in ("parity", "cppc", "secded", "2d-parity")
+    }

@@ -1,0 +1,44 @@
+"""Exception hierarchy for the CPPC reproduction.
+
+All library-specific errors derive from :class:`ReproError` so callers can
+catch everything from this package with a single ``except`` clause.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class ConfigurationError(ReproError):
+    """A component was constructed with inconsistent or invalid parameters."""
+
+
+class AlignmentError(ReproError):
+    """A memory access violated the alignment rules of the simulator."""
+
+
+class SimulationError(ReproError):
+    """The simulator reached an internally inconsistent state."""
+
+
+class UncorrectableError(ReproError):
+    """An error was detected that the active protection scheme cannot correct.
+
+    This models a DUE (Detected Unrecoverable Error) — the machine-check
+    exception of paper Section 4.4 step 7.  The simulator raises it so fault
+    campaigns can classify the outcome.
+    """
+
+    def __init__(self, message: str, *, detail: object = None):
+        super().__init__(message)
+        self.detail = detail
+
+
+class FaultLocatorError(UncorrectableError):
+    """The spatial fault locator could not uniquely locate the faulty bits."""
+
+
+class TraceFormatError(ReproError):
+    """A trace record or trace file could not be parsed."""

@@ -1,0 +1,27 @@
+"""Fault models, injection, and Monte-Carlo campaign machinery."""
+
+from .campaign import (
+    CampaignConfig,
+    CampaignResult,
+    FaultCampaign,
+    Outcome,
+    TrialResult,
+)
+from .fitrate import FitEstimate, estimate_fit
+from .injector import FaultInjector, InjectionRecord
+from .models import BitFlip, SpatialFault, TemporalFault
+
+__all__ = [
+    "CampaignConfig",
+    "CampaignResult",
+    "FaultCampaign",
+    "Outcome",
+    "TrialResult",
+    "FitEstimate",
+    "estimate_fit",
+    "FaultInjector",
+    "InjectionRecord",
+    "BitFlip",
+    "SpatialFault",
+    "TemporalFault",
+]

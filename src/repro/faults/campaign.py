@@ -1,0 +1,200 @@
+"""Monte-Carlo fault-injection campaigns with outcome classification.
+
+Each trial builds a fresh hierarchy, warms it up with a workload prefix
+(tracking a golden memory image), injects one fault, keeps executing, and
+classifies the outcome:
+
+* ``DUE`` — the protection scheme raised
+  :class:`~repro.errors.UncorrectableError` (machine check);
+* ``SDC`` — a load returned wrong data, or wrong data survived to memory
+  after the final flush, without a DUE (includes miscorrections such as
+  the Section 4.7 aliasing hazard);
+* ``CORRECTED`` — a fault was detected and everything ended
+  architecturally correct;
+* ``BENIGN`` — the flipped bits were overwritten or discarded before any
+  access noticed them.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import itertools
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..errors import ConfigurationError, UncorrectableError
+from ..memsim.hierarchy import MemoryHierarchy
+from ..memsim.protection import CacheProtection
+from ..workloads.replay import GoldenMemory, TraceReplayer
+from ..workloads.spec import make_workload
+from .injector import FaultInjector, InjectionRecord
+
+
+class Outcome(enum.Enum):
+    """Architectural result of one injected fault."""
+
+    BENIGN = "benign"
+    CORRECTED = "corrected"
+    DUE = "due"
+    SDC = "sdc"
+
+
+@dataclasses.dataclass(frozen=True)
+class CampaignConfig:
+    """Parameters of one injection campaign.
+
+    Attributes:
+        scheme_factory: builds a fresh protection scheme per level per
+            trial (signature: level name, unit bits).
+        benchmark: workload profile name.
+        trials: number of injections.
+        warmup_references: references replayed before the injection.
+        post_fault_references: references replayed after it.
+        fault_kind: "temporal" (one bit) or "spatial" (a rectangle).
+        spatial_shape: (height, width) for spatial faults.
+        dirty_only: restrict temporal faults to dirty units.
+        target_level: "L1D" or "L2".
+        seed: base seed; trial ``i`` derives its own streams.
+    """
+
+    scheme_factory: Callable[[str, int], CacheProtection]
+    benchmark: str = "gcc"
+    trials: int = 50
+    warmup_references: int = 3000
+    post_fault_references: int = 2000
+    fault_kind: str = "temporal"
+    spatial_shape: Tuple[int, int] = (8, 8)
+    dirty_only: bool = False
+    target_level: str = "L1D"
+    seed: int = 0
+
+    def __post_init__(self):
+        if self.fault_kind not in ("temporal", "spatial"):
+            raise ConfigurationError(
+                f"fault_kind must be 'temporal' or 'spatial', got {self.fault_kind}"
+            )
+        if self.target_level not in ("L1D", "L2"):
+            raise ConfigurationError(
+                f"target_level must be 'L1D' or 'L2', got {self.target_level}"
+            )
+        if self.trials < 1:
+            raise ConfigurationError("trials must be >= 1")
+
+
+@dataclasses.dataclass
+class TrialResult:
+    """One injection's classification and evidence."""
+
+    outcome: Outcome
+    injected_bits: int = 0
+    touched_units: int = 0
+    detail: str = ""
+
+
+@dataclasses.dataclass
+class CampaignResult:
+    """Aggregated campaign outcome counts."""
+
+    config: CampaignConfig
+    trials: List[TrialResult] = dataclasses.field(default_factory=list)
+
+    @property
+    def counts(self) -> Dict[Outcome, int]:
+        """Outcome histogram."""
+        out = {o: 0 for o in Outcome}
+        for t in self.trials:
+            out[t.outcome] += 1
+        return out
+
+    def rate(self, outcome: Outcome) -> float:
+        """Fraction of trials ending in ``outcome``."""
+        return self.counts[outcome] / len(self.trials) if self.trials else 0.0
+
+    def summary(self) -> Dict[str, float]:
+        """Outcome rates keyed by name."""
+        return {o.value: self.rate(o) for o in Outcome}
+
+
+class FaultCampaign:
+    """Runs the Monte-Carlo campaign described by a :class:`CampaignConfig`."""
+
+    def __init__(self, config: CampaignConfig):
+        self.config = config
+
+    def run(self) -> CampaignResult:
+        """Execute every trial and return the aggregate."""
+        result = CampaignResult(config=self.config)
+        for trial in range(self.config.trials):
+            result.trials.append(self._run_trial(trial))
+        return result
+
+    # ------------------------------------------------------------------
+    def _run_trial(self, trial: int) -> TrialResult:
+        cfg = self.config
+        hierarchy = MemoryHierarchy(protection_factory=cfg.scheme_factory)
+        golden = GoldenMemory()
+        replayer = TraceReplayer(
+            hierarchy, golden=golden, check_loads=True
+        )
+        workload = make_workload(cfg.benchmark, seed=(cfg.seed, trial))
+        records = workload.records(
+            cfg.warmup_references + cfg.post_fault_references
+        )
+        warmup = itertools.islice(records, cfg.warmup_references)
+
+        try:
+            for record in warmup:
+                if replayer.step(record):
+                    return TrialResult(
+                        outcome=Outcome.SDC, detail="mismatch before injection"
+                    )
+        except UncorrectableError as exc:
+            return TrialResult(outcome=Outcome.DUE, detail=f"warmup: {exc}")
+
+        target = hierarchy.l1d if cfg.target_level == "L1D" else hierarchy.l2
+        injector = FaultInjector(target, seed=(cfg.seed, trial))
+        injection = self._inject(injector)
+        if injection is None or not injection.flips:
+            return TrialResult(outcome=Outcome.BENIGN, detail="no resident target")
+
+        detected_before = target.stats.detected_faults
+        try:
+            for record in records:  # the remaining post-fault slice
+                if replayer.step(record):
+                    return TrialResult(
+                        outcome=Outcome.SDC,
+                        injected_bits=injection.total_bits,
+                        touched_units=len(injection.touched_units),
+                        detail="load returned corrupted data",
+                    )
+            hierarchy.flush()
+        except UncorrectableError as exc:
+            return TrialResult(
+                outcome=Outcome.DUE,
+                injected_bits=injection.total_bits,
+                touched_units=len(injection.touched_units),
+                detail=str(exc),
+            )
+
+        for addr, expected in golden.items():
+            if hierarchy.memory.peek(addr, 1)[0] != expected:
+                return TrialResult(
+                    outcome=Outcome.SDC,
+                    injected_bits=injection.total_bits,
+                    touched_units=len(injection.touched_units),
+                    detail=f"latent corruption at {addr:#x} after flush",
+                )
+
+        detected = target.stats.detected_faults > detected_before
+        return TrialResult(
+            outcome=Outcome.CORRECTED if detected else Outcome.BENIGN,
+            injected_bits=injection.total_bits,
+            touched_units=len(injection.touched_units),
+        )
+
+    def _inject(self, injector: FaultInjector) -> Optional[InjectionRecord]:
+        cfg = self.config
+        if cfg.fault_kind == "temporal":
+            return injector.random_temporal(dirty_only=cfg.dirty_only)
+        height, width = cfg.spatial_shape
+        return injector.random_spatial(height=height, width=width)

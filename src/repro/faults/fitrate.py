@@ -1,0 +1,81 @@
+"""FIT-rate estimation from injection campaigns.
+
+A campaign (:mod:`repro.faults.campaign`) classifies what happens *given*
+a fault; combining those conditional outcomes with the raw upset rate
+yields absolute DUE and SDC FIT rates — the industrial metric behind the
+paper's MTTF comparisons:
+
+    DUE FIT = raw_bit_FIT * resident_bits * P(outcome = DUE | fault)
+    SDC FIT = raw_bit_FIT * resident_bits * P(outcome = SDC | fault)
+
+Corrected and benign outcomes contribute nothing.  The derived
+``mttf_years`` uses the standard 1e9-hours-per-FIT conversion.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+
+from ..errors import ConfigurationError
+from ..util import FIT_HOURS, hours_to_years
+from .campaign import CampaignResult, Outcome
+
+
+@dataclasses.dataclass(frozen=True)
+class FitEstimate:
+    """Absolute failure rates derived from one campaign."""
+
+    due_fit: float
+    sdc_fit: float
+    resident_bits: int
+    raw_fit_per_bit: float
+
+    @property
+    def total_fit(self) -> float:
+        """DUE + SDC failures per 1e9 device-hours."""
+        return self.due_fit + self.sdc_fit
+
+    @property
+    def mttf_years(self) -> float:
+        """Mean time to any failure."""
+        if self.total_fit <= 0:
+            return math.inf
+        return hours_to_years(FIT_HOURS / self.total_fit)
+
+    @property
+    def due_mttf_years(self) -> float:
+        """Mean time to a detected-unrecoverable failure."""
+        if self.due_fit <= 0:
+            return math.inf
+        return hours_to_years(FIT_HOURS / self.due_fit)
+
+
+def estimate_fit(
+    result: CampaignResult,
+    *,
+    resident_bits: int,
+    raw_fit_per_bit: float = 0.001,
+) -> FitEstimate:
+    """Convert a campaign's conditional outcomes into absolute FIT rates.
+
+    Args:
+        result: a completed campaign (its trials define the conditional
+            outcome probabilities).
+        resident_bits: bits exposed to upsets (e.g. the cache's data
+            array, or its average dirty bits for dirty-only campaigns).
+        raw_fit_per_bit: raw upset rate (paper: 0.001 FIT/bit).
+    """
+    if not result.trials:
+        raise ConfigurationError("campaign has no trials")
+    if resident_bits < 1:
+        raise ConfigurationError("resident_bits must be positive")
+    if raw_fit_per_bit <= 0:
+        raise ConfigurationError("raw_fit_per_bit must be positive")
+    fault_fit = raw_fit_per_bit * resident_bits
+    return FitEstimate(
+        due_fit=fault_fit * result.rate(Outcome.DUE),
+        sdc_fit=fault_fit * result.rate(Outcome.SDC),
+        resident_bits=resident_bits,
+        raw_fit_per_bit=raw_fit_per_bit,
+    )

@@ -1,0 +1,93 @@
+"""Fault models: temporal single-bit upsets and spatial multi-bit strikes.
+
+A *temporal* fault (classic SEU) flips one bit of one resident unit.  A
+*spatial* fault models a single energetic particle upsetting a rectangle
+of adjacent cells (paper Section 4): ``height`` consecutive physical rows
+of one way, each losing the bits in columns ``[left_col, left_col +
+width)``.  The paper's coverage target is the 8x8 square.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Tuple
+
+from ..errors import ConfigurationError
+from ..memsim.types import UnitLocation
+
+
+@dataclasses.dataclass(frozen=True)
+class BitFlip:
+    """One unit-level corruption: XOR ``mask`` into the unit at ``loc``."""
+
+    loc: UnitLocation
+    mask: int
+
+
+@dataclasses.dataclass(frozen=True)
+class TemporalFault:
+    """Single-event upset of one bit.
+
+    Attributes:
+        loc: target unit.
+        bit_index: MSB-first bit within the unit.
+    """
+
+    loc: UnitLocation
+    bit_index: int
+
+    def flips(self, unit_bits: int) -> List[BitFlip]:
+        """Unit-level corruption list for this fault."""
+        if not 0 <= self.bit_index < unit_bits:
+            raise ConfigurationError(
+                f"bit index {self.bit_index} out of range for {unit_bits}-bit unit"
+            )
+        return [BitFlip(self.loc, 1 << (unit_bits - 1 - self.bit_index))]
+
+
+@dataclasses.dataclass(frozen=True)
+class SpatialFault:
+    """A particle strike over a ``height x width`` rectangle of cells.
+
+    Attributes:
+        way: subarray struck (strikes never span ways).
+        top_row: first physical row affected.
+        left_col: first MSB-first bit column affected.
+        height: rows affected (vertical extent).
+        width: columns affected (horizontal extent).
+    """
+
+    way: int
+    top_row: int
+    left_col: int
+    height: int
+    width: int
+
+    def __post_init__(self):
+        if self.height < 1 or self.width < 1:
+            raise ConfigurationError("spatial fault extents must be positive")
+        if self.top_row < 0 or self.left_col < 0 or self.way < 0:
+            raise ConfigurationError("spatial fault coordinates must be non-negative")
+
+    def row_masks(self, unit_bits: int) -> Dict[int, int]:
+        """Per-row XOR masks, clipped to the unit width.
+
+        Returns ``{row: mask}``; rows whose column span falls entirely
+        outside the unit are omitted.
+        """
+        masks: Dict[int, int] = {}
+        lo = self.left_col
+        hi = min(self.left_col + self.width, unit_bits)
+        if lo >= unit_bits:
+            return masks
+        mask = 0
+        for col in range(lo, hi):
+            mask |= 1 << (unit_bits - 1 - col)
+        for row in range(self.top_row, self.top_row + self.height):
+            masks[row] = mask
+        return masks
+
+    @property
+    def footprint(self) -> Tuple[int, int]:
+        """(height, width) of the strike."""
+        return (self.height, self.width)

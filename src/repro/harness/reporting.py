@@ -1,0 +1,56 @@
+"""Plain-text table rendering for experiment output."""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence
+
+
+def format_value(value: object, precision: int = 3) -> str:
+    """Render one cell: floats compactly, huge/tiny floats scientifically."""
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, int):
+        return str(value)
+    if isinstance(value, float):
+        if math.isinf(value):
+            return "inf"
+        if value != 0 and (abs(value) >= 1e6 or abs(value) < 1e-3):
+            return f"{value:.{precision}g}"
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: Optional[str] = None,
+    precision: int = 3,
+) -> str:
+    """ASCII table with per-column alignment (numbers right, text left)."""
+    rendered: List[List[str]] = [
+        [format_value(cell, precision) for cell in row] for row in rows
+    ]
+    widths = [len(h) for h in headers]
+    for row in rendered:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def fmt_row(cells: Sequence[str], source_row: Optional[Sequence[object]] = None) -> str:
+        parts = []
+        for i, cell in enumerate(cells):
+            is_num = source_row is not None and isinstance(
+                source_row[i], (int, float)
+            ) and not isinstance(source_row[i], bool)
+            parts.append(cell.rjust(widths[i]) if is_num else cell.ljust(widths[i]))
+        return "  ".join(parts).rstrip()
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append(fmt_row(list(headers)))
+    lines.append(fmt_row(["-" * w for w in widths]))
+    for raw, row in zip(rows, rendered):
+        lines.append(fmt_row(row, raw))
+    return "\n".join(lines)

@@ -1,0 +1,159 @@
+"""The paper scorecard: every reproduced claim, checked in one call.
+
+:func:`scorecard` runs the whole evaluation at a configurable scale and
+grades each claim of the paper against an acceptance band — the same
+bands the benches assert, gathered into a single pass/fail artifact.
+Useful as a quick regression gate (``python -m repro.tools.run_scorecard``)
+and as the one-page summary of what this reproduction does and does not
+claim.
+
+Bands are deliberately *shape* bands (who wins, by roughly what factor),
+not absolute-number matches: the substrates are simulators, not the
+authors' testbed (see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional, Sequence
+
+from ..reliability import mttf_aliasing_years, mttf_cppc_years, mttf_parity_years, mttf_secded_years
+from .experiments import (
+    PAPER_TABLE2_L1,
+    PAPER_TABLE2_L2,
+    BenchmarkRun,
+    figure10,
+    figure11,
+    figure12,
+    run_all_benchmarks,
+    table2,
+)
+from .reporting import format_table
+
+
+@dataclasses.dataclass(frozen=True)
+class Claim:
+    """One graded claim."""
+
+    section: str
+    statement: str
+    expected: str
+    measured: str
+    passed: bool
+
+
+@dataclasses.dataclass
+class Scorecard:
+    """All graded claims plus rendering."""
+
+    claims: List[Claim]
+
+    @property
+    def passed(self) -> bool:
+        """True when every claim holds."""
+        return all(c.passed for c in self.claims)
+
+    @property
+    def pass_count(self) -> int:
+        """Number of claims that hold."""
+        return sum(1 for c in self.claims if c.passed)
+
+    def to_text(self) -> str:
+        """Rendered scorecard table."""
+        rows = [
+            [c.section, c.statement, c.expected, c.measured,
+             "PASS" if c.passed else "FAIL"]
+            for c in self.claims
+        ]
+        table = format_table(
+            ["paper", "claim", "expected", "measured", "grade"],
+            rows,
+            title="CPPC reproduction scorecard",
+        )
+        return (
+            table
+            + f"\n\n{self.pass_count}/{len(self.claims)} claims hold"
+        )
+
+
+def _within(value: float, low: float, high: float) -> bool:
+    return low <= value <= high
+
+
+def scorecard(
+    runs: Optional[Sequence[BenchmarkRun]] = None,
+    *,
+    n_references: int = 20_000,
+    seed: int = 0,
+) -> Scorecard:
+    """Grade every claim; pass ``runs`` to reuse existing simulations."""
+    if runs is None:
+        runs = run_all_benchmarks(n_references=n_references, seed=seed)
+    claims: List[Claim] = []
+
+    def grade(section, statement, expected, measured, passed):
+        claims.append(Claim(section, statement, expected, str(measured), passed))
+
+    # ---- Figure 10 ----------------------------------------------------
+    f10 = figure10(runs)
+    cppc_cpi = f10.average_overhead("cppc")
+    twod_cpi = f10.average_overhead("2d-parity")
+    grade("Fig 10", "CPPC CPI overhead tiny", "< 1% avg",
+          f"{cppc_cpi:.2%}", cppc_cpi < 0.01)
+    grade("Fig 10", "2-D parity costs more CPI than CPPC", ">= CPPC",
+          f"{twod_cpi:.2%}", twod_cpi >= cppc_cpi)
+
+    # ---- Figures 11/12 -----------------------------------------------
+    f11, f12 = figure11(runs), figure12(runs)
+    grade("Fig 11", "L1 CPPC energy ~ +14%", "1.05-1.35x",
+          f"{f11.average('cppc'):.3f}", _within(f11.average("cppc"), 1.05, 1.35))
+    grade("Fig 11", "L1 SECDED energy ~ +42%", "1.36-1.48x",
+          f"{f11.average('secded'):.3f}", _within(f11.average("secded"), 1.36, 1.48))
+    grade("Fig 11", "L1 ordering parity<CPPC<SECDED<2D", "strict",
+          f"{f11.average('cppc'):.2f}<{f11.average('secded'):.2f}"
+          f"<{f11.average('2d-parity'):.2f}",
+          f11.average("cppc") < f11.average("secded") < f11.average("2d-parity"))
+    grade("Fig 12", "L2 CPPC energy ~ +7%", "1.0-1.25x",
+          f"{f12.average('cppc'):.3f}", _within(f12.average("cppc"), 1.0, 1.25))
+    grade("Fig 12", "L2 SECDED energy ~ +68%", "1.60-1.78x",
+          f"{f12.average('secded'):.3f}", _within(f12.average("secded"), 1.60, 1.78))
+    grade("Fig 12", "CPPC relatively cheaper at L2 than L1", "L2 < L1",
+          f"{f12.average('cppc'):.3f} vs {f11.average('cppc'):.3f}",
+          f12.average("cppc") < f11.average("cppc"))
+    twod_l2 = {b: row["2d-parity"] / row["cppc"]
+               for b, row in f12.per_benchmark.items()}
+    worst = sorted(twod_l2, key=twod_l2.get, reverse=True)[:3]
+    grade("Fig 12", "mcf among the worst 2-D benchmarks", "top 3 by 2D/CPPC",
+          f"rank set {worst}", "mcf" in worst)
+
+    # ---- Table 2 ------------------------------------------------------
+    t2 = table2(runs)
+    l1_dirty = t2.average("l1_dirty_fraction")
+    grade("Table 2", "L1 dirty residency band", "5-45%",
+          f"{l1_dirty:.1%}", _within(l1_dirty, 0.05, 0.45))
+    grade("Table 2", "dirty L2 units touched far less often than L1's",
+          "L2 Tavg > 3x L1 Tavg",
+          f"{t2.average('l2_tavg_cycles'):.0f} vs "
+          f"{t2.average('l1_tavg_cycles'):.0f}",
+          t2.average("l2_tavg_cycles") > 3 * t2.average("l1_tavg_cycles"))
+
+    # ---- Table 3 (paper inputs) ---------------------------------------
+    table3_expectations = [
+        ("parity L1", mttf_parity_years(PAPER_TABLE2_L1), 4490.0),
+        ("parity L2", mttf_parity_years(PAPER_TABLE2_L2), 64.0),
+        ("CPPC L1", mttf_cppc_years(PAPER_TABLE2_L1), 8.02e21),
+        ("CPPC L2", mttf_cppc_years(PAPER_TABLE2_L2), 8.07e15),
+        ("SECDED L1", mttf_secded_years(PAPER_TABLE2_L1, 64), 6.2e23),
+        ("SECDED L2", mttf_secded_years(PAPER_TABLE2_L2, 256), 1.1e19),
+    ]
+    for label, ours, paper in table3_expectations:
+        grade("Table 3", f"MTTF {label} within 2x of paper",
+              f"{paper:.3g} y", f"{ours:.3g} y",
+              paper / 2 <= ours <= paper * 2)
+
+    # ---- Section 4.7 ---------------------------------------------------
+    aliasing = mttf_aliasing_years(PAPER_TABLE2_L2)
+    grade("Sec 4.7", "aliasing MTTF within 3x of 4.19e20 y", "1.4e20-1.3e21",
+          f"{aliasing:.3g} y", _within(aliasing, 4.19e20 / 3, 4.19e20 * 3))
+
+    return Scorecard(claims=claims)

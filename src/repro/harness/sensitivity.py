@@ -1,0 +1,138 @@
+"""Sensitivity analyses around the paper's single design point.
+
+The paper evaluates one configuration (Table 1, 0.001 FIT/bit, 8-way
+interleaving).  These sweeps probe how its conclusions move with the
+assumptions:
+
+* :func:`sweep_l1_size` — cache size vs miss rate, dirty residency and
+  the CPPC energy overhead (larger L1s keep more dirty data but miss
+  less);
+* :func:`sweep_seu_rate` — Table 3 under different raw upset rates (all
+  MTTFs scale, orderings never change);
+* :func:`sweep_interleaving` — SECDED's energy overhead vs physical
+  interleaving degree, the paper's Section 5.3 point that interleaved
+  SECDED scales badly exactly when spatial MBEs demand wider coverage.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List
+
+from ..energy import CacheEnergyModel, normalized_energies
+from ..memsim.hierarchy import CacheGeometry, HierarchyConfig, PAPER_CONFIG
+from ..reliability import (
+    ReliabilityInputs,
+    mttf_cppc_years,
+    mttf_parity_years,
+    mttf_secded_years,
+)
+from ..util import KB
+from .experiments import run_benchmark
+from .reporting import format_table
+
+
+@dataclasses.dataclass
+class SweepResult:
+    """Rows plus the rendered table of one sweep."""
+
+    headers: List[str]
+    rows: List[list]
+    title: str
+
+    def to_text(self) -> str:
+        """Rendered ASCII table."""
+        return format_table(self.headers, self.rows, title=self.title)
+
+    def column(self, name: str) -> List[float]:
+        """Extract one column by header name."""
+        index = self.headers.index(name)
+        return [row[index] for row in self.rows]
+
+
+def sweep_l1_size(
+    sizes_kb=(16, 32, 64),
+    benchmark: str = "gcc",
+    n_references: int = 20_000,
+    seed: int = 0,
+) -> SweepResult:
+    """L1 capacity sweep: miss rate, dirty residency, CPPC energy."""
+    rows = []
+    for size_kb in sizes_kb:
+        geometry = CacheGeometry(
+            size_bytes=size_kb * KB, ways=2, block_bytes=32, unit_bytes=8,
+            latency_cycles=2,
+        )
+        config = HierarchyConfig(l1d=geometry, l2=PAPER_CONFIG.l2)
+        run = run_benchmark(benchmark, n_references, seed, config)
+        energies = normalized_energies(run.l1, geometry)
+        rows.append(
+            [
+                size_kb,
+                run.l1.miss_rate,
+                run.l1.dirty_fraction,
+                energies["cppc"],
+                energies["2d-parity"],
+            ]
+        )
+    return SweepResult(
+        headers=["L1 KB", "miss rate", "dirty fraction", "cppc energy",
+                 "2d energy"],
+        rows=rows,
+        title=f"Sensitivity: L1 capacity ({benchmark})",
+    )
+
+
+def sweep_seu_rate(
+    fit_rates=(1e-4, 1e-3, 1e-2),
+    base: ReliabilityInputs = None,
+) -> SweepResult:
+    """Raw upset-rate sweep over the Table 3 models."""
+    if base is None:
+        base = ReliabilityInputs(
+            size_bits=32 * 1024 * 8, dirty_fraction=0.16, tavg_cycles=1828
+        )
+    rows = []
+    for fit in fit_rates:
+        inputs = dataclasses.replace(base, seu_fit_per_bit=fit)
+        rows.append(
+            [
+                fit,
+                mttf_parity_years(inputs),
+                mttf_cppc_years(inputs),
+                mttf_secded_years(inputs, 64),
+            ]
+        )
+    return SweepResult(
+        headers=["FIT/bit", "parity (years)", "cppc (years)",
+                 "secded (years)"],
+        rows=rows,
+        title="Sensitivity: raw SEU rate (L1 inputs)",
+    )
+
+
+def sweep_interleaving(degrees=(1, 2, 4, 8, 16)) -> SweepResult:
+    """SECDED access energy vs physical interleaving degree (Section 5.3).
+
+    CPPC's spatial coverage scales by adding parity bits at ~constant
+    energy; interleaved SECDED pays ``degree`` x the bitline energy.
+    """
+    rows = []
+    base = CacheEnergyModel(
+        size_bytes=32 * KB, ways=2, block_bytes=32, unit_bytes=8,
+        check_bits_per_unit=8, bitline_interleave=1,
+    )
+    for degree in degrees:
+        model = dataclasses.replace(base, bitline_interleave=degree)
+        rows.append(
+            [
+                degree,
+                model.read_unit_pj,
+                model.read_unit_pj / base.read_unit_pj,
+            ]
+        )
+    return SweepResult(
+        headers=["interleave degree", "access pJ", "vs degree 1"],
+        rows=rows,
+        title="Sensitivity: SECDED bit-interleaving degree (Section 5.3)",
+    )

@@ -1,0 +1,73 @@
+"""Trace-driven cache simulator: caches, hierarchy, protection plumbing."""
+
+from .address import AddressMapper
+from .buffers import BoundedQueue, PendingStore, PendingVictim, StoreBuffer, VictimBuffer
+from .cache import Cache, CacheLine
+from .coherence import BusStats, CoherentSystem, small_coherent_config
+from .hierarchy import (
+    PAPER_CONFIG,
+    PAPER_CONFIG_WITH_L3,
+    CacheGeometry,
+    HierarchyConfig,
+    MemoryHierarchy,
+)
+from .mainmem import MainMemory
+from .protection import (
+    CacheProtection,
+    FaultResolution,
+    NoProtection,
+    ParityProtection,
+    Resolution,
+    SecdedProtection,
+    TwoDParityProtection,
+)
+from .replacement import (
+    FIFOPolicy,
+    LRUPolicy,
+    RandomPolicy,
+    ReplacementPolicy,
+    available_policies,
+    make_policy,
+)
+from .scrub import EarlyWritebackScrubber, ScrubberStats
+from .stats import CacheStats
+from .types import AccessResult, AccessType, UnitLocation
+
+__all__ = [
+    "AddressMapper",
+    "BoundedQueue",
+    "PendingStore",
+    "PendingVictim",
+    "StoreBuffer",
+    "VictimBuffer",
+    "Cache",
+    "CacheLine",
+    "BusStats",
+    "CoherentSystem",
+    "small_coherent_config",
+    "EarlyWritebackScrubber",
+    "ScrubberStats",
+    "PAPER_CONFIG",
+    "PAPER_CONFIG_WITH_L3",
+    "CacheGeometry",
+    "HierarchyConfig",
+    "MemoryHierarchy",
+    "MainMemory",
+    "CacheProtection",
+    "FaultResolution",
+    "NoProtection",
+    "ParityProtection",
+    "Resolution",
+    "SecdedProtection",
+    "TwoDParityProtection",
+    "FIFOPolicy",
+    "LRUPolicy",
+    "RandomPolicy",
+    "ReplacementPolicy",
+    "available_policies",
+    "make_policy",
+    "CacheStats",
+    "AccessResult",
+    "AccessType",
+    "UnitLocation",
+]

@@ -1,0 +1,91 @@
+"""Address arithmetic for set-associative caches."""
+
+from __future__ import annotations
+
+import dataclasses
+
+from ..errors import AlignmentError, ConfigurationError
+
+
+def _is_pow2(x: int) -> bool:
+    return x > 0 and (x & (x - 1)) == 0
+
+
+@dataclasses.dataclass(frozen=True)
+class AddressMapper:
+    """Splits a byte address into tag / set index / block offset fields.
+
+    Attributes:
+        block_bytes: cache line size in bytes (power of two).
+        num_sets: number of sets (power of two).
+        unit_bytes: protection/dirty-bit granularity in bytes (power of
+            two, divides ``block_bytes``).  A word for an L1 cache, an L1
+            block for an L2 cache (paper Section 3.5).
+    """
+
+    block_bytes: int
+    num_sets: int
+    unit_bytes: int = 8
+
+    def __post_init__(self):
+        for name in ("block_bytes", "num_sets", "unit_bytes"):
+            value = getattr(self, name)
+            if not _is_pow2(value):
+                raise ConfigurationError(f"{name} must be a power of two, got {value}")
+        if self.unit_bytes > self.block_bytes:
+            raise ConfigurationError(
+                f"unit ({self.unit_bytes}B) cannot exceed block ({self.block_bytes}B)"
+            )
+
+    @property
+    def units_per_block(self) -> int:
+        """Number of protection units in one cache line."""
+        return self.block_bytes // self.unit_bytes
+
+    def block_address(self, addr: int) -> int:
+        """Address of the first byte of the line containing ``addr``."""
+        return addr & ~(self.block_bytes - 1)
+
+    def block_offset(self, addr: int) -> int:
+        """Byte offset of ``addr`` within its line."""
+        return addr & (self.block_bytes - 1)
+
+    def set_index(self, addr: int) -> int:
+        """Set holding the line that contains ``addr``."""
+        return (addr // self.block_bytes) % self.num_sets
+
+    def tag(self, addr: int) -> int:
+        """Tag of the line containing ``addr``."""
+        return addr // self.block_bytes // self.num_sets
+
+    def rebuild_address(self, tag: int, set_index: int) -> int:
+        """Block address from a (tag, set) pair — inverse of tag/set_index."""
+        return (tag * self.num_sets + set_index) * self.block_bytes
+
+    def unit_index(self, addr: int) -> int:
+        """Protection unit within the line that contains ``addr``."""
+        return self.block_offset(addr) // self.unit_bytes
+
+    def byte_in_unit(self, addr: int) -> int:
+        """Byte offset of ``addr`` within its protection unit."""
+        return addr & (self.unit_bytes - 1)
+
+    def check_access(self, addr: int, size: int) -> None:
+        """Validate a naturally-aligned access that stays inside one line."""
+        if addr < 0:
+            raise AlignmentError(f"negative address {addr}")
+        if size < 1 or not _is_pow2(size):
+            raise AlignmentError(f"access size must be a power of two, got {size}")
+        if size > self.block_bytes:
+            raise AlignmentError(
+                f"access of {size}B exceeds block size {self.block_bytes}B"
+            )
+        if addr % size:
+            raise AlignmentError(f"address {addr:#x} not aligned to {size}B")
+
+    def units_touched(self, addr: int, size: int) -> range:
+        """Unit indices covered by an access of ``size`` bytes at ``addr``."""
+        self.check_access(addr, size)
+        first = self.unit_index(addr)
+        last = self.unit_index(addr + size - 1)
+        return range(first, last + 1)

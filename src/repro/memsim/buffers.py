@@ -1,0 +1,107 @@
+"""Victim and store buffers.
+
+These are *timing* structures: the functional cache completes write-backs
+and stores synchronously, while the timing model (``repro.timing``) uses
+these buffers to decide when the read/write ports are busy.
+
+* The victim buffer holds evicted dirty blocks awaiting write-back; CPPC
+  XORs their dirty words into R2 "in the background" from here (paper
+  Section 3.1), so write-backs never stall the pipeline unless the buffer
+  fills.
+* The store buffer holds retired stores awaiting a write-port slot; in a
+  CPPC, a store to a dirty word must additionally *steal* an idle
+  read-port cycle for its read-before-write (paper Section 3.1).
+"""
+
+from __future__ import annotations
+
+import collections
+import dataclasses
+from typing import Deque
+
+from ..errors import ConfigurationError
+
+
+@dataclasses.dataclass
+class PendingStore:
+    """A retired store waiting to be written to the data array."""
+
+    addr: int
+    size: int
+    needs_read_port: bool
+    enqueued_cycle: int
+
+
+@dataclasses.dataclass
+class PendingVictim:
+    """An evicted dirty block waiting to drain to the next level."""
+
+    block_addr: int
+    dirty_units: int
+    enqueued_cycle: int
+
+
+class BoundedQueue:
+    """Fixed-capacity FIFO shared by the two buffer types."""
+
+    def __init__(self, capacity: int):
+        if capacity < 1:
+            raise ConfigurationError("buffer capacity must be >= 1")
+        self.capacity = capacity
+        self._q: Deque = collections.deque()
+        self.peak_occupancy = 0
+        self.total_enqueued = 0
+        self.full_stalls = 0
+
+    def __len__(self) -> int:
+        return len(self._q)
+
+    @property
+    def full(self) -> bool:
+        """True when no more entries fit."""
+        return len(self._q) >= self.capacity
+
+    @property
+    def empty(self) -> bool:
+        """True when nothing is pending."""
+        return not self._q
+
+    def push(self, item) -> bool:
+        """Enqueue; returns False (and counts a stall) when full."""
+        if self.full:
+            self.full_stalls += 1
+            return False
+        self._q.append(item)
+        self.total_enqueued += 1
+        self.peak_occupancy = max(self.peak_occupancy, len(self._q))
+        return True
+
+    def peek(self):
+        """Oldest entry, or None."""
+        return self._q[0] if self._q else None
+
+    def pop(self):
+        """Dequeue the oldest entry."""
+        return self._q.popleft()
+
+
+class StoreBuffer(BoundedQueue):
+    """Store queue between retirement and the data array."""
+
+    def __init__(self, capacity: int = 16):
+        super().__init__(capacity)
+
+    def push_store(self, addr: int, size: int, needs_read_port: bool, cycle: int) -> bool:
+        """Enqueue a retired store; returns False if the buffer is full."""
+        return self.push(PendingStore(addr, size, needs_read_port, cycle))
+
+
+class VictimBuffer(BoundedQueue):
+    """Write-back buffer between a cache and its next level."""
+
+    def __init__(self, capacity: int = 8):
+        super().__init__(capacity)
+
+    def push_victim(self, block_addr: int, dirty_units: int, cycle: int) -> bool:
+        """Enqueue an evicted dirty block; returns False if full."""
+        return self.push(PendingVictim(block_addr, dirty_units, cycle))

@@ -1,0 +1,48 @@
+"""Common value types for the cache simulator."""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+
+
+class AccessType(enum.Enum):
+    """Kind of memory reference."""
+
+    LOAD = "load"
+    STORE = "store"
+
+
+@dataclasses.dataclass(frozen=True, order=True)
+class UnitLocation:
+    """Physical location of one protection unit inside a cache.
+
+    A unit is the protection/dirty-bit granularity: a 64-bit word in an L1
+    CPPC, an L1-block-sized chunk in an L2 CPPC.
+    """
+
+    set_index: int
+    way: int
+    unit_index: int
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"set{self.set_index}.way{self.way}.unit{self.unit_index}"
+
+
+@dataclasses.dataclass(frozen=True)
+class AccessResult:
+    """Outcome of one load or store at a cache level.
+
+    Attributes:
+        hit: whether the first lookup hit.
+        data: bytes returned (loads only; ``b''`` for stores).
+        writeback: True when the access caused a dirty eviction.
+        detected_fault: True when a protection check fired during the
+            access (the fault was then corrected or converted to a miss,
+            otherwise :class:`~repro.errors.UncorrectableError` is raised).
+    """
+
+    hit: bool
+    data: bytes = b""
+    writeback: bool = False
+    detected_fault: bool = False

@@ -1,0 +1,128 @@
+"""Analytical MTTF models for temporal multi-bit errors (paper Section 6.3).
+
+The paper evaluates reliability with the approximate analytical model of
+[22] (PARMA): a protected cache fails when a *second* fault lands in the
+same protection domain within ``Tavg`` — the mean interval between two
+consecutive accesses to a dirty word — because the first latent fault is
+scrubbed (detected and corrected) at the next access.
+
+For a fault rate ``lambda`` per bit-hour, a domain of ``S`` bits and an
+interval of ``T`` hours, the probability of an uncorrectable double fault
+in one interval is the two-event Poisson term ``(lambda*S*T)^2 / 2``; with
+``n`` independent domains, the expected number of intervals to failure is
+``1 / (n * P)`` and ``MTTF = Tavg * 1/(n*P) * 1/AVF``.
+
+Protection domains per scheme (for ``D`` dirty bits):
+
+* one-dimensional parity — no correction: a failure is the *first* fault
+  in dirty data, ``MTTF = 1 / (lambda * D * AVF)``;
+* CPPC with ``w`` interleaved parity bits and ``p`` register pairs —
+  ``n = w*p`` domains of ``S = D/(w*p)`` bits (Section 3.4: eight parity
+  bits make eight domains of 1/8 of the dirty data);
+* SECDED — one domain per protected unit: ``S`` is the word (L1) or block
+  (L2) size, ``n = D / S``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+
+from ..errors import ConfigurationError
+from ..util import (
+    cycles_to_hours,
+    fit_per_bit_to_rate_per_hour,
+    hours_to_years,
+)
+
+
+@dataclasses.dataclass(frozen=True)
+class ReliabilityInputs:
+    """Workload- and technology-dependent inputs of the MTTF models.
+
+    Attributes:
+        size_bits: cache data capacity in bits.
+        dirty_fraction: time-averaged dirty fraction (paper Table 2).
+        tavg_cycles: mean cycles between consecutive accesses to a dirty
+            unit (paper Table 2).
+        frequency_hz: core clock (paper Table 1: 3 GHz).
+        seu_fit_per_bit: raw upset rate (paper Section 6.3: 0.001 FIT/bit).
+        avf: architectural vulnerability factor (paper: 0.7).
+    """
+
+    size_bits: int
+    dirty_fraction: float
+    tavg_cycles: float
+    frequency_hz: float = 3.0e9
+    seu_fit_per_bit: float = 0.001
+    avf: float = 0.7
+
+    def __post_init__(self):
+        if self.size_bits < 1:
+            raise ConfigurationError("size_bits must be positive")
+        if not 0.0 < self.dirty_fraction <= 1.0:
+            raise ConfigurationError("dirty_fraction must be in (0, 1]")
+        if self.tavg_cycles <= 0:
+            raise ConfigurationError("tavg_cycles must be positive")
+        if not 0.0 < self.avf <= 1.0:
+            raise ConfigurationError("avf must be in (0, 1]")
+
+    @property
+    def dirty_bits(self) -> float:
+        """Average number of dirty bits."""
+        return self.size_bits * self.dirty_fraction
+
+    @property
+    def tavg_hours(self) -> float:
+        """Tavg converted to hours."""
+        return cycles_to_hours(self.tavg_cycles, self.frequency_hz)
+
+    @property
+    def rate_per_bit_hour(self) -> float:
+        """Per-bit upset rate per hour."""
+        return fit_per_bit_to_rate_per_hour(self.seu_fit_per_bit)
+
+
+def _two_fault_probability(domain_bits: float, tavg_hours: float, rate: float) -> float:
+    """Poisson two-event probability in one scrubbing interval."""
+    expected = rate * domain_bits * tavg_hours
+    return expected * expected / 2.0
+
+
+def mttf_parity_years(inputs: ReliabilityInputs) -> float:
+    """MTTF of a detection-only parity cache: first dirty fault is fatal."""
+    rate = inputs.rate_per_bit_hour * inputs.dirty_bits
+    if rate <= 0:
+        return math.inf
+    return hours_to_years(1.0 / rate / inputs.avf)
+
+
+def mttf_domain_pair_years(
+    inputs: ReliabilityInputs, domain_bits: float, num_domains: float
+) -> float:
+    """MTTF of a scheme that fails on two faults in one domain per Tavg."""
+    if domain_bits <= 0 or num_domains <= 0:
+        raise ConfigurationError("domain size and count must be positive")
+    p = _two_fault_probability(domain_bits, inputs.tavg_hours, inputs.rate_per_bit_hour)
+    if p <= 0:
+        return math.inf
+    failure_intervals = 1.0 / (num_domains * p)
+    return hours_to_years(inputs.tavg_hours * failure_intervals / inputs.avf)
+
+
+def mttf_cppc_years(
+    inputs: ReliabilityInputs, *, parity_ways: int = 8, num_pairs: int = 1
+) -> float:
+    """MTTF of a CPPC (Section 3.4's domain structure)."""
+    if parity_ways < 1 or num_pairs < 1:
+        raise ConfigurationError("parity_ways and num_pairs must be >= 1")
+    n = parity_ways * num_pairs
+    return mttf_domain_pair_years(inputs, inputs.dirty_bits / n, n)
+
+
+def mttf_secded_years(inputs: ReliabilityInputs, unit_bits: int) -> float:
+    """MTTF of per-unit SECDED (word for L1, block for L2)."""
+    if unit_bits < 1:
+        raise ConfigurationError("unit_bits must be positive")
+    num_units = inputs.dirty_bits / unit_bits
+    return mttf_domain_pair_years(inputs, float(unit_bits), num_units)

@@ -1,0 +1,43 @@
+"""Trace-driven timing models: fast analytical and cycle-stepped OoO."""
+
+from .pipeline import (
+    DetailedPipeline,
+    PipelineConfig,
+    PipelineResult,
+    simulate_detailed_cpi,
+)
+from .model import (
+    TIMING_POLICIES,
+    AccessEvent,
+    CppcTiming,
+    ParityTiming,
+    SchemeTimingPolicy,
+    SecdedTiming,
+    TimingConfig,
+    TimingResult,
+    TwoDParityTiming,
+    collect_events,
+    simulate_cpi,
+    time_events,
+    timing_policy,
+)
+
+__all__ = [
+    "TIMING_POLICIES",
+    "AccessEvent",
+    "CppcTiming",
+    "ParityTiming",
+    "SchemeTimingPolicy",
+    "SecdedTiming",
+    "TimingConfig",
+    "TimingResult",
+    "TwoDParityTiming",
+    "collect_events",
+    "simulate_cpi",
+    "time_events",
+    "timing_policy",
+    "DetailedPipeline",
+    "PipelineConfig",
+    "PipelineResult",
+    "simulate_detailed_cpi",
+]

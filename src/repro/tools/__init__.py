@@ -1,0 +1,23 @@
+"""Command-line entry points: trace generation, experiments, campaigns.
+
+Each submodule exposes ``main(argv)`` and is runnable as
+``python -m repro.tools.<name>``.
+"""
+
+from . import (
+    gen_docs,
+    gen_trace,
+    run_campaign,
+    run_experiment,
+    run_scorecard,
+    run_sensitivity,
+)
+
+__all__ = [
+    "gen_docs",
+    "gen_trace",
+    "run_campaign",
+    "run_experiment",
+    "run_scorecard",
+    "run_sensitivity",
+]

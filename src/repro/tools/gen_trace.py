@@ -1,0 +1,53 @@
+"""Command-line trace generator.
+
+Writes a synthetic benchmark trace in the text format of
+:mod:`repro.workloads.trace`::
+
+    python -m repro.tools.gen_trace gcc --references 100000 -o gcc.trace
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from ..workloads import benchmark_names, make_workload, save_trace
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-gen-trace",
+        description="Generate a synthetic SPEC2000-like memory trace.",
+    )
+    parser.add_argument(
+        "benchmark",
+        choices=benchmark_names(),
+        help="benchmark profile to generate",
+    )
+    parser.add_argument(
+        "--references", "-n", type=int, default=100_000,
+        help="number of memory references (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0, help="generator seed (default: 0)"
+    )
+    parser.add_argument(
+        "--output", "-o", type=argparse.FileType("w"), default=sys.stdout,
+        help="output file (default: stdout)",
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    workload = make_workload(args.benchmark, seed=args.seed)
+    written = save_trace(workload.records(args.references), args.output)
+    if args.output is not sys.stdout:
+        args.output.close()
+        print(f"wrote {written} records for {args.benchmark}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

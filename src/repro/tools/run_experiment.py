@@ -1,0 +1,97 @@
+"""Command-line experiment runner: regenerate paper tables and figures.
+
+::
+
+    python -m repro.tools.run_experiment fig11 --references 60000
+    python -m repro.tools.run_experiment all -n 200000 --output results/
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+from typing import Optional, Sequence
+
+from ..harness import (
+    figure10,
+    figure11,
+    figure12,
+    run_all_benchmarks,
+    table2,
+    table3,
+)
+from ..workloads import benchmark_names
+
+EXPERIMENTS = ("fig10", "fig11", "fig12", "table2", "table3", "all")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-run-experiment",
+        description="Regenerate one of the paper's tables/figures.",
+    )
+    parser.add_argument("experiment", choices=EXPERIMENTS)
+    parser.add_argument(
+        "--references", "-n", type=int, default=60_000,
+        help="trace length per benchmark (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0, help="workload seed (default: 0)"
+    )
+    parser.add_argument(
+        "--benchmarks", nargs="+", choices=benchmark_names(), default=None,
+        help="subset of benchmarks (default: all fifteen)",
+    )
+    parser.add_argument(
+        "--output", "-o", type=pathlib.Path, default=None,
+        help="directory to archive the tables into (optional)",
+    )
+    return parser
+
+
+def _tables_for(experiment: str, runs) -> dict:
+    tables = {}
+    if experiment in ("fig10", "all"):
+        tables["fig10"] = figure10(runs).to_text()
+    if experiment in ("fig11", "all"):
+        tables["fig11"] = figure11(runs).to_text()
+    if experiment in ("fig12", "all"):
+        tables["fig12"] = figure12(runs).to_text()
+    if experiment in ("table2", "all"):
+        tables["table2"] = table2(runs).to_text()
+    if experiment in ("table3", "all"):
+        t2 = table2(runs)
+        measured = table3(
+            l1_inputs=t2.reliability_inputs("L1"),
+            l2_inputs=t2.reliability_inputs("L2"),
+        )
+        tables["table3"] = (
+            table3().to_text()
+            + "\n\n(with this run's measured Table 2 inputs)\n"
+            + measured.to_text()
+        )
+    return tables
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    runs = run_all_benchmarks(
+        n_references=args.references, seed=args.seed,
+        benchmarks=args.benchmarks,
+    )
+    tables = _tables_for(args.experiment, runs)
+    for name, text in tables.items():
+        print(text)
+        print()
+        if args.output is not None:
+            args.output.mkdir(parents=True, exist_ok=True)
+            (args.output / f"{name}.txt").write_text(text + "\n")
+    if args.output is not None:
+        print(f"archived {len(tables)} table(s) under {args.output}",
+              file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,41 @@
+"""Command-line paper scorecard.
+
+::
+
+    python -m repro.tools.run_scorecard -n 20000
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from ..harness.scorecard import scorecard
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-run-scorecard",
+        description="Grade every reproduced paper claim in one run.",
+    )
+    parser.add_argument(
+        "--references", "-n", type=int, default=20_000,
+        help="trace length per benchmark (default: %(default)s)",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    card = scorecard(n_references=args.references, seed=args.seed)
+    print(card.to_text())
+    if not card.passed:
+        print("scorecard has failing claims", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,53 @@
+"""Command-line sensitivity sweeps.
+
+::
+
+    python -m repro.tools.run_sensitivity interleaving
+    python -m repro.tools.run_sensitivity l1-size -n 20000
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Optional, Sequence
+
+from ..harness import sweep_interleaving, sweep_l1_size, sweep_seu_rate
+from ..workloads import benchmark_names
+
+SWEEPS = ("l1-size", "seu-rate", "interleaving", "all")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-run-sensitivity",
+        description="Sensitivity sweeps around the paper's design point.",
+    )
+    parser.add_argument("sweep", choices=SWEEPS)
+    parser.add_argument(
+        "--references", "-n", type=int, default=20_000,
+        help="trace length for simulation-backed sweeps (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--benchmark", choices=benchmark_names(), default="gcc",
+        help="workload for the L1-size sweep (default: gcc)",
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.sweep in ("l1-size", "all"):
+        print(sweep_l1_size(
+            benchmark=args.benchmark, n_references=args.references
+        ).to_text())
+        print()
+    if args.sweep in ("seu-rate", "all"):
+        print(sweep_seu_rate().to_text())
+        print()
+    if args.sweep in ("interleaving", "all"):
+        print(sweep_interleaving().to_text())
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,35 @@
+"""Unit conversions used by the energy, timing and reliability models."""
+
+from __future__ import annotations
+
+KB = 1024
+MB = 1024 * KB
+
+NS_PER_S = 1e9
+PJ_PER_J = 1e12
+
+HOURS_PER_YEAR = 24 * 365.25
+SECONDS_PER_HOUR = 3600.0
+
+#: One FIT is one failure per 10^9 device-hours.
+FIT_HOURS = 1e9
+
+
+def fit_per_bit_to_rate_per_hour(fit: float) -> float:
+    """Convert a per-bit FIT rate to a per-bit failure rate per hour."""
+    return fit / FIT_HOURS
+
+
+def cycles_to_hours(cycles: float, frequency_hz: float) -> float:
+    """Convert a cycle count at ``frequency_hz`` to hours."""
+    return cycles / frequency_hz / SECONDS_PER_HOUR
+
+
+def hours_to_years(hours: float) -> float:
+    """Convert hours to (Julian) years."""
+    return hours / HOURS_PER_YEAR
+
+
+def years_to_hours(years: float) -> float:
+    """Convert years to hours."""
+    return years * HOURS_PER_YEAR

@@ -1,0 +1,45 @@
+"""Workloads: trace format, synthetic generators, SPEC2000-like profiles."""
+
+from .generators import SyntheticWorkload, WorkloadProfile
+from .replay import GoldenMemory, ReplayResult, TraceReplayer, replay
+from .spec import (
+    BENCHMARKS,
+    PROFILES,
+    benchmark_names,
+    get_profile,
+    make_workload,
+)
+from .trace import TraceRecord, load_trace, materialize, save_trace, trace_stats
+from .transforms import (
+    drop,
+    interleave,
+    multiprogrammed_mix,
+    offset_addresses,
+    scale_gaps,
+    take,
+)
+
+__all__ = [
+    "SyntheticWorkload",
+    "WorkloadProfile",
+    "GoldenMemory",
+    "ReplayResult",
+    "TraceReplayer",
+    "replay",
+    "BENCHMARKS",
+    "PROFILES",
+    "benchmark_names",
+    "get_profile",
+    "make_workload",
+    "TraceRecord",
+    "load_trace",
+    "materialize",
+    "save_trace",
+    "trace_stats",
+    "drop",
+    "interleave",
+    "multiprogrammed_mix",
+    "offset_addresses",
+    "scale_gaps",
+    "take",
+]

@@ -1,0 +1,94 @@
+"""Trace transformations: slicing, relocation, merging, scaling.
+
+Building blocks for derived experiments:
+
+* :func:`offset_addresses` relocates a trace so two copies do not alias —
+  the basis of multiprogrammed mixes;
+* :func:`interleave` round-robins several traces into one stream (or, for
+  the coherence substrate, splits one stream across cores *without*
+  relocation to force sharing);
+* :func:`scale_gaps` stretches or compresses the non-memory instruction
+  gaps (a crude IPC/memory-intensity knob);
+* :func:`take` / :func:`drop` slice by reference count.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+from typing import Iterable, Iterator, List, Sequence
+
+from ..errors import ConfigurationError
+from .trace import TraceRecord
+
+
+def take(records: Iterable[TraceRecord], n: int) -> Iterator[TraceRecord]:
+    """First ``n`` records."""
+    if n < 0:
+        raise ConfigurationError("take count must be non-negative")
+    return itertools.islice(records, n)
+
+
+def drop(records: Iterable[TraceRecord], n: int) -> Iterator[TraceRecord]:
+    """Everything after the first ``n`` records."""
+    if n < 0:
+        raise ConfigurationError("drop count must be non-negative")
+    return itertools.islice(records, n, None)
+
+
+def offset_addresses(
+    records: Iterable[TraceRecord], offset: int
+) -> Iterator[TraceRecord]:
+    """Relocate every address by ``offset`` bytes (must preserve
+    alignment: offset is required to be 8-byte aligned)."""
+    if offset % 8:
+        raise ConfigurationError("offset must be 8-byte aligned")
+    for r in records:
+        yield dataclasses.replace(r, addr=r.addr + offset)
+
+
+def scale_gaps(
+    records: Iterable[TraceRecord], factor: float
+) -> Iterator[TraceRecord]:
+    """Multiply every instruction gap by ``factor`` (>= 0)."""
+    if factor < 0:
+        raise ConfigurationError("gap factor must be non-negative")
+    for r in records:
+        yield dataclasses.replace(r, gap=int(r.gap * factor))
+
+
+def interleave(
+    *traces: Iterable[TraceRecord],
+) -> Iterator[TraceRecord]:
+    """Round-robin several traces into one stream.
+
+    Stops when the shortest trace is exhausted, keeping the mix ratio
+    exact.  Relocate the inputs first (``offset_addresses``) for a
+    multiprogrammed mix, or leave them aliased to model sharing.
+    """
+    if not traces:
+        raise ConfigurationError("need at least one trace")
+    iterators = [iter(t) for t in traces]
+    while True:
+        batch: List[TraceRecord] = []
+        for it in iterators:
+            record = next(it, None)
+            if record is None:
+                return
+            batch.append(record)
+        yield from batch
+
+
+def multiprogrammed_mix(
+    traces: Sequence[Iterable[TraceRecord]],
+    *,
+    spacing_bytes: int = 1 << 30,
+) -> Iterator[TraceRecord]:
+    """Relocate and interleave ``traces`` into one non-aliasing stream."""
+    if spacing_bytes % 8:
+        raise ConfigurationError("spacing must be 8-byte aligned")
+    relocated = [
+        offset_addresses(trace, i * spacing_bytes)
+        for i, trace in enumerate(traces)
+    ]
+    return interleave(*relocated)

@@ -1,0 +1,78 @@
+"""Public API surface and exception-hierarchy tests."""
+
+import pytest
+
+import repro
+from repro import build_cppc_hierarchy
+from repro.errors import (
+    AlignmentError,
+    ConfigurationError,
+    FaultLocatorError,
+    ReproError,
+    SimulationError,
+    TraceFormatError,
+    UncorrectableError,
+)
+
+
+class TestExceptionHierarchy:
+    @pytest.mark.parametrize("exc", [
+        ConfigurationError, AlignmentError, SimulationError,
+        UncorrectableError, TraceFormatError, FaultLocatorError,
+    ])
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+
+    def test_locator_error_is_uncorrectable(self):
+        assert issubclass(FaultLocatorError, UncorrectableError)
+
+    def test_uncorrectable_carries_detail(self):
+        e = UncorrectableError("boom", detail={"loc": 1})
+        assert e.detail == {"loc": 1}
+
+
+class TestTopLevelApi:
+    def test_version(self):
+        assert repro.__version__
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_quickstart_flow(self):
+        hierarchy = build_cppc_hierarchy()
+        hierarchy.store(0x1000, b"\x12" * 8)
+        assert hierarchy.load(0x1000, 8).data == b"\x12" * 8
+
+    def test_build_cppc_hierarchy_uses_paper_shapes(self):
+        hierarchy = build_cppc_hierarchy()
+        assert hierarchy.l1d.protection.name == "cppc"
+        assert hierarchy.l1d.protection.code.data_bits == 64
+        assert hierarchy.l2.protection.code.data_bits == 256
+
+    def test_build_with_pairs(self):
+        hierarchy = build_cppc_hierarchy(num_pairs=4)
+        assert hierarchy.l1d.protection.registers.num_pairs == 4
+
+    def test_subpackages_importable(self):
+        import repro.coding
+        import repro.cppc
+        import repro.energy
+        import repro.faults
+        import repro.harness
+        import repro.memsim
+        import repro.reliability
+        import repro.timing
+        import repro.util
+        import repro.workloads
+
+    @pytest.mark.parametrize("module_name", [
+        "coding", "cppc", "energy", "faults", "harness",
+        "memsim", "reliability", "timing", "util", "workloads",
+    ])
+    def test_subpackage_all_exports_resolve(self, module_name):
+        import importlib
+
+        module = importlib.import_module(f"repro.{module_name}")
+        for name in module.__all__:
+            assert hasattr(module, name), f"repro.{module_name}.{name}"

@@ -1,0 +1,190 @@
+"""Unit and property tests for repro.util.bitops."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.util import (
+    bit_positions,
+    bytes_to_words,
+    check_word,
+    flip_bit,
+    flip_bits,
+    from_bytes_be,
+    get_bit,
+    get_byte,
+    iter_bytes,
+    mask,
+    parity,
+    popcount,
+    rotl_bits,
+    rotl_bytes,
+    rotr_bytes,
+    set_bit,
+    set_byte,
+    to_bytes_be,
+    words_to_bytes,
+    xor_reduce,
+)
+
+words = st.integers(min_value=0, max_value=(1 << 64) - 1)
+
+
+class TestMaskAndCheck:
+    def test_mask_widths(self):
+        assert mask(0) == 0
+        assert mask(1) == 1
+        assert mask(8) == 0xFF
+        assert mask(64) == (1 << 64) - 1
+
+    def test_mask_negative_rejected(self):
+        with pytest.raises(ConfigurationError):
+            mask(-1)
+
+    def test_check_word_accepts_in_range(self):
+        assert check_word(0xFF, 8) == 0xFF
+
+    def test_check_word_rejects_too_wide(self):
+        with pytest.raises(ConfigurationError):
+            check_word(0x100, 8)
+
+    def test_check_word_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            check_word(-1, 8)
+
+
+class TestPopcountParity:
+    def test_popcount_basics(self):
+        assert popcount(0) == 0
+        assert popcount(0b1011) == 3
+        assert popcount(mask(64)) == 64
+
+    def test_popcount_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            popcount(-5)
+
+    def test_parity_basics(self):
+        assert parity(0) == 0
+        assert parity(1) == 1
+        assert parity(0b11) == 0
+
+    @given(words, st.integers(min_value=0, max_value=63))
+    def test_single_flip_changes_parity(self, x, k):
+        assert parity(x) != parity(flip_bit(x, k))
+
+
+class TestBitIndexing:
+    def test_bit0_is_msb(self):
+        assert get_bit(1 << 63, 0) == 1
+        assert get_bit(1, 63) == 1
+
+    def test_set_bit_roundtrip(self):
+        x = set_bit(0, 5, 1)
+        assert get_bit(x, 5) == 1
+        assert set_bit(x, 5, 0) == 0
+
+    def test_set_bit_rejects_bad_value(self):
+        with pytest.raises(ConfigurationError):
+            set_bit(0, 0, 2)
+
+    def test_flip_bit_out_of_range(self):
+        with pytest.raises(ConfigurationError):
+            flip_bit(0, 64)
+
+    @given(words, st.integers(min_value=0, max_value=63))
+    def test_flip_twice_is_identity(self, x, k):
+        assert flip_bit(flip_bit(x, k), k) == x
+
+    @given(words)
+    def test_bit_positions_match_popcount(self, x):
+        assert len(bit_positions(x)) == popcount(x)
+
+    @given(st.sets(st.integers(min_value=0, max_value=63)))
+    def test_flip_bits_sets_exact_positions(self, positions):
+        x = flip_bits(0, positions)
+        assert set(bit_positions(x)) == positions
+
+
+class TestByteIndexing:
+    def test_byte0_is_most_significant(self):
+        assert get_byte(0xAB << 56, 0) == 0xAB
+        assert get_byte(0xCD, 7) == 0xCD
+
+    def test_set_byte(self):
+        x = set_byte(0, 2, 0x7F)
+        assert get_byte(x, 2) == 0x7F
+        assert set_byte(x, 2, 0) == 0
+
+    def test_set_byte_rejects_wide_value(self):
+        with pytest.raises(ConfigurationError):
+            set_byte(0, 0, 0x100)
+
+    def test_get_byte_out_of_range(self):
+        with pytest.raises(ConfigurationError):
+            get_byte(0, 8)
+
+    @given(words)
+    def test_iter_bytes_reassembles(self, x):
+        assert from_bytes_be([b for _i, b in iter_bytes(x)]) == x
+
+    @given(words)
+    def test_to_from_bytes_roundtrip(self, x):
+        assert from_bytes_be(to_bytes_be(x)) == x
+
+
+class TestRotation:
+    def test_rotl_bytes_moves_msb_byte(self):
+        x = 0xAA << 56  # byte 0
+        # After rotl by 1 the value at byte 0 comes from byte 1; 0xAA
+        # moves to the last byte position.
+        assert get_byte(rotl_bytes(x, 1), 7) == 0xAA
+
+    def test_rotl_zero_is_identity(self):
+        assert rotl_bytes(0x1234, 0) == 0x1234
+
+    def test_rotl_full_period_is_identity(self):
+        assert rotl_bytes(0x123456789ABCDEF0, 8) == 0x123456789ABCDEF0
+
+    @given(words, st.integers(min_value=0, max_value=16))
+    def test_rotr_inverts_rotl(self, x, c):
+        assert rotr_bytes(rotl_bytes(x, c), c) == x
+
+    @given(words, st.integers(min_value=0, max_value=7),
+           st.integers(min_value=0, max_value=7))
+    def test_rotl_composes_additively(self, x, a, b):
+        assert rotl_bytes(rotl_bytes(x, a), b) == rotl_bytes(x, a + b)
+
+    @given(words, st.integers(min_value=0, max_value=7))
+    def test_rotation_preserves_popcount(self, x, c):
+        assert popcount(rotl_bytes(x, c)) == popcount(x)
+
+    @given(words, st.integers(min_value=0, max_value=7))
+    def test_byte_rotation_preserves_bit_in_byte_position(self, x, c):
+        rotated = rotl_bytes(x, c)
+        groups = lambda v: sorted(k % 8 for k in bit_positions(v))
+        assert groups(rotated) == groups(x)
+
+    @given(words, st.integers(min_value=0, max_value=63))
+    def test_rotl_bits_period(self, x, c):
+        assert rotl_bits(rotl_bits(x, c), 64 - c) == x
+
+
+class TestWordPacking:
+    @given(st.lists(words, min_size=0, max_size=8))
+    def test_words_bytes_roundtrip(self, ws):
+        assert bytes_to_words(words_to_bytes(ws)) == ws
+
+    def test_bytes_to_words_rejects_ragged(self):
+        with pytest.raises(ConfigurationError):
+            bytes_to_words(b"\x00" * 12)
+
+    @given(st.lists(words, min_size=0, max_size=10))
+    def test_xor_reduce_matches_functools(self, ws):
+        acc = 0
+        for w in ws:
+            acc ^= w
+        assert xor_reduce(ws) == acc
+
+    def test_xor_reduce_empty(self):
+        assert xor_reduce([]) == 0

@@ -1,0 +1,126 @@
+"""Monte-Carlo fault campaign tests.
+
+These assert the outcome *distributions* that define each scheme:
+CPPC never produces an SDC for single-bit faults; detection-only parity
+produces DUEs on dirty faults; an unprotected cache produces SDCs.
+"""
+
+import pytest
+
+from repro.cppc import CppcProtection
+from repro.errors import ConfigurationError
+from repro.faults import CampaignConfig, FaultCampaign, Outcome
+from repro.memsim import NoProtection, ParityProtection, SecdedProtection
+
+
+def cppc_factory(level, unit_bits):
+    return CppcProtection(data_bits=unit_bits)
+
+
+def parity_factory(level, unit_bits):
+    return ParityProtection(data_bits=unit_bits)
+
+
+def secded_factory(level, unit_bits):
+    return SecdedProtection(data_bits=unit_bits)
+
+
+def none_factory(level, unit_bits):
+    return NoProtection()
+
+
+def run(factory, **kwargs):
+    config = CampaignConfig(
+        scheme_factory=factory,
+        benchmark="gzip",
+        trials=kwargs.pop("trials", 12),
+        warmup_references=kwargs.pop("warmup_references", 600),
+        post_fault_references=kwargs.pop("post_fault_references", 400),
+        **kwargs,
+    )
+    return FaultCampaign(config).run()
+
+
+class TestConfigValidation:
+    def test_bad_fault_kind(self):
+        with pytest.raises(ConfigurationError):
+            CampaignConfig(scheme_factory=cppc_factory, fault_kind="weird")
+
+    def test_bad_level(self):
+        with pytest.raises(ConfigurationError):
+            CampaignConfig(scheme_factory=cppc_factory, target_level="L3")
+
+    def test_bad_trials(self):
+        with pytest.raises(ConfigurationError):
+            CampaignConfig(scheme_factory=cppc_factory, trials=0)
+
+
+class TestCppcCampaigns:
+    def test_temporal_faults_never_sdc_or_due(self):
+        result = run(cppc_factory, fault_kind="temporal", dirty_only=True)
+        counts = result.counts
+        assert counts[Outcome.SDC] == 0
+        assert counts[Outcome.DUE] == 0
+        assert counts[Outcome.CORRECTED] + counts[Outcome.BENIGN] == len(
+            result.trials
+        )
+
+    def test_temporal_faults_mostly_observed(self):
+        result = run(cppc_factory, fault_kind="temporal", dirty_only=True,
+                     trials=15)
+        assert result.counts[Outcome.CORRECTED] >= 1
+
+    def test_spatial_4x4_no_sdc(self):
+        result = run(cppc_factory, fault_kind="spatial", spatial_shape=(4, 4))
+        assert result.counts[Outcome.SDC] == 0
+
+    def test_l2_campaign_runs(self):
+        result = run(cppc_factory, fault_kind="temporal", target_level="L2",
+                     trials=6)
+        assert result.counts[Outcome.SDC] == 0
+        assert result.counts[Outcome.DUE] == 0
+
+
+class TestParityCampaigns:
+    def test_dirty_faults_become_dues(self):
+        result = run(parity_factory, fault_kind="temporal", dirty_only=True,
+                     trials=15)
+        counts = result.counts
+        assert counts[Outcome.SDC] == 0  # detection prevents corruption
+        assert counts[Outcome.DUE] >= 1  # ...but dirty faults kill the run
+
+    def test_clean_faults_are_recoverable(self):
+        result = run(parity_factory, fault_kind="temporal", dirty_only=False,
+                     trials=15)
+        # Some faults hit clean data and get refetched, or are benign.
+        assert (
+            result.counts[Outcome.CORRECTED] + result.counts[Outcome.BENIGN]
+        ) >= 1
+
+
+class TestSecdedCampaigns:
+    def test_single_bit_faults_corrected(self):
+        result = run(secded_factory, fault_kind="temporal", dirty_only=True)
+        assert result.counts[Outcome.SDC] == 0
+        assert result.counts[Outcome.DUE] == 0
+
+
+class TestUnprotectedBaseline:
+    def test_unprotected_cache_eventually_corrupts(self):
+        result = run(none_factory, fault_kind="temporal", dirty_only=True,
+                     trials=15)
+        # With no detection at all, dirty-data faults surface as SDCs.
+        assert result.counts[Outcome.SDC] >= 1
+        assert result.counts[Outcome.DUE] == 0
+
+
+class TestResultApi:
+    def test_rates_sum_to_one(self):
+        result = run(cppc_factory, trials=8)
+        assert sum(result.summary().values()) == pytest.approx(1.0)
+
+    def test_trial_details_present(self):
+        result = run(cppc_factory, trials=5)
+        assert len(result.trials) == 5
+        for trial in result.trials:
+            assert isinstance(trial.outcome, Outcome)

@@ -1,0 +1,89 @@
+"""Faults in the *check bits* (parity/ECC arrays) rather than the data.
+
+A strike can hit the parity array just as well as the data array.  For
+every scheme: the data must survive — either because the check bits are
+simply regenerated (clean data refetch), or because recovery reconstructs
+the same data and rewrites fresh parity (CPPC dirty data), or because
+SECDED's code disambiguates check-bit flips by construction.
+"""
+
+import pytest
+
+from repro.errors import UncorrectableError
+from repro.memsim import ParityProtection, SecdedProtection
+
+from conftest import make_cppc_cache, make_tiny_cache
+
+
+class TestCppcCheckBitFaults:
+    def test_parity_bit_fault_on_dirty_word_recovers_data(self):
+        """The data was never wrong; recovery must return it unchanged and
+        regenerate the parity (no false DUE)."""
+        cache, _ = make_cppc_cache()
+        cache.store(0, b"\x6B" * 8)
+        loc = cache.locate(0)
+        cache.corrupt_check(loc, 0b1)
+        result = cache.load(0, 8)
+        assert result.detected_fault
+        assert result.data == b"\x6B" * 8
+        # The stored check bits are fresh and consistent again.
+        value, check, _ = cache.peek_unit(loc)
+        assert not cache.protection.inspect(value, check).detected
+
+    def test_multiple_parity_bits_fault_recovers(self):
+        cache, _ = make_cppc_cache()
+        cache.store(0, b"\x6C" * 8)
+        loc = cache.locate(0)
+        cache.corrupt_check(loc, 0b1011)
+        assert cache.load(0, 8).data == b"\x6C" * 8
+
+    def test_parity_fault_on_clean_word_refetches(self):
+        cache, memory = make_cppc_cache()
+        memory.poke(0, b"\x2E" * 32)
+        cache.load(0, 8)
+        cache.corrupt_check(cache.locate(0), 0b1)
+        assert cache.load(0, 8).data == b"\x2E" * 8
+
+    def test_data_fault_still_distinguished_from_check_fault(self):
+        """A real data fault flips the data; recovery must fix it, not
+        just regenerate parity around it."""
+        cache, _ = make_cppc_cache()
+        cache.store(0, b"\x6D" * 8)
+        loc = cache.locate(0)
+        cache.corrupt_data(loc, 1 << 40)
+        assert cache.load(0, 8).data == b"\x6D" * 8
+        value, _check, _ = cache.peek_unit(loc)
+        assert value.to_bytes(8, "big") == b"\x6D" * 8
+
+
+class TestParitySchemeCheckBitFaults:
+    def test_check_fault_on_dirty_word_is_a_due(self):
+        """Detection-only parity cannot tell a parity-bit fault from a
+        data fault: the conservative outcome is the same halt."""
+        cache, _ = make_tiny_cache(ParityProtection())
+        cache.store(0, b"\x01" * 8)
+        cache.corrupt_check(cache.locate(0), 0b1)
+        with pytest.raises(UncorrectableError):
+            cache.load(0, 8)
+
+    def test_check_fault_on_clean_word_refetches(self):
+        cache, memory = make_tiny_cache(ParityProtection())
+        memory.poke(0, b"\x4D" * 32)
+        cache.load(0, 8)
+        cache.corrupt_check(cache.locate(0), 0b100)
+        assert cache.load(0, 8).data == b"\x4D" * 8
+
+
+class TestSecdedCheckBitFaults:
+    def test_single_check_bit_fault_corrected_in_place(self):
+        """Hamming SECDED locates a flipped check bit by syndrome; the
+        data passes through untouched."""
+        cache, _ = make_tiny_cache(SecdedProtection())
+        cache.store(0, b"\x0E" * 8)
+        loc = cache.locate(0)
+        cache.corrupt_check(loc, 0b10)
+        result = cache.load(0, 8)
+        assert result.detected_fault
+        assert result.data == b"\x0E" * 8
+        value, check, _ = cache.peek_unit(loc)
+        assert not cache.protection.inspect(value, check).detected

@@ -1,0 +1,71 @@
+"""Tests for the physical bit-interleaving model."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.coding import BitInterleaving
+from repro.errors import ConfigurationError
+
+
+class TestConstruction:
+    def test_defaults(self):
+        il = BitInterleaving(degree=8)
+        assert il.row_bits == 512
+        assert il.bitline_energy_factor == 8
+        assert il.max_correctable_burst() == 8
+
+    def test_rejects_bad_degree(self):
+        with pytest.raises(ConfigurationError):
+            BitInterleaving(degree=0)
+
+    def test_rejects_bad_width(self):
+        with pytest.raises(ConfigurationError):
+            BitInterleaving(degree=2, word_bits=0)
+
+
+class TestMapping:
+    @given(st.integers(min_value=0, max_value=7),
+           st.integers(min_value=0, max_value=63))
+    def test_column_mapping_bijection(self, word, bit):
+        il = BitInterleaving(degree=8)
+        col = il.physical_column(word, bit)
+        assert il.logical_location(col) == (word, bit)
+
+    def test_adjacent_columns_are_different_words(self):
+        il = BitInterleaving(degree=8)
+        words = [il.logical_location(c)[0] for c in range(8)]
+        assert len(set(words)) == 8
+
+    def test_out_of_range_rejected(self):
+        il = BitInterleaving(degree=4)
+        with pytest.raises(ConfigurationError):
+            il.physical_column(4, 0)
+        with pytest.raises(ConfigurationError):
+            il.physical_column(0, 64)
+        with pytest.raises(ConfigurationError):
+            il.logical_location(il.row_bits)
+
+
+class TestBurstSplitting:
+    @given(st.integers(min_value=0, max_value=500),
+           st.integers(min_value=1, max_value=8))
+    def test_burst_within_degree_hits_each_word_once(self, start, length):
+        """The property that makes interleaved SECDED work (Section 1)."""
+        il = BitInterleaving(degree=8)
+        hits = il.burst_to_word_bits(start, length)
+        assert all(len(bit_list) == 1 for bit_list in hits.values())
+
+    def test_burst_longer_than_degree_doubles_up(self):
+        il = BitInterleaving(degree=4)
+        hits = il.burst_to_word_bits(0, 5)
+        assert max(len(b) for b in hits.values()) == 2
+
+    def test_burst_clipped_at_row_end(self):
+        il = BitInterleaving(degree=2, word_bits=8)
+        hits = il.burst_to_word_bits(il.row_bits - 1, 10)
+        assert sum(len(b) for b in hits.values()) == 1
+
+    def test_zero_length_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BitInterleaving(degree=2).burst_to_word_bits(0, 0)

@@ -1,0 +1,87 @@
+"""Tests for the vertical parity register (two-dimensional parity)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.coding import VerticalParity
+from repro.errors import ConfigurationError
+from repro.util import xor_reduce
+
+words = st.integers(min_value=0, max_value=(1 << 64) - 1)
+
+
+class TestBasics:
+    def test_starts_zero(self):
+        assert VerticalParity(64).value == 0
+
+    def test_rejects_zero_width(self):
+        with pytest.raises(ConfigurationError):
+            VerticalParity(0)
+
+    def test_insert_remove_cancel(self):
+        vp = VerticalParity(64)
+        vp.insert(0xABCD)
+        vp.remove(0xABCD)
+        assert vp.value == 0
+
+    def test_update_is_remove_plus_insert(self):
+        vp1, vp2 = VerticalParity(64), VerticalParity(64)
+        vp1.insert(5)
+        vp1.update(5, 9)
+        vp2.insert(9)
+        assert vp1.value == vp2.value
+
+    def test_width_validation(self):
+        vp = VerticalParity(8)
+        with pytest.raises(ConfigurationError):
+            vp.insert(0x100)
+
+    def test_clear(self):
+        vp = VerticalParity(64)
+        vp.insert(123)
+        vp.clear()
+        assert vp.value == 0
+
+
+class TestReconstruction:
+    @given(st.lists(words, min_size=1, max_size=16),
+           st.integers(min_value=0, max_value=15))
+    def test_reconstruct_recovers_any_row(self, rows, idx):
+        if idx >= len(rows):
+            return
+        vp = VerticalParity(64)
+        for r in rows:
+            vp.insert(r)
+        others = rows[:idx] + rows[idx + 1 :]
+        assert vp.reconstruct(others) == rows[idx]
+
+    @given(st.lists(words, max_size=16))
+    def test_matches_detects_consistency(self, rows):
+        vp = VerticalParity(64)
+        for r in rows:
+            vp.insert(r)
+        assert vp.matches(rows)
+        assert vp.matches(rows) == (vp.reconstruct(rows) == 0)
+
+    @given(st.lists(words, min_size=1, max_size=16), words)
+    def test_matches_fails_after_corruption(self, rows, noise):
+        if noise == 0:
+            return
+        vp = VerticalParity(64)
+        for r in rows:
+            vp.insert(r)
+        corrupted = list(rows)
+        corrupted[0] ^= noise
+        assert not vp.matches(corrupted)
+
+    @given(st.lists(words, min_size=2, max_size=16))
+    def test_random_store_stream_keeps_register_consistent(self, stream):
+        """Model a sequence of read-before-write updates on one row."""
+        vp = VerticalParity(64)
+        current = 0
+        vp.insert(current)
+        for new in stream:
+            vp.update(current, new)
+            current = new
+        assert vp.matches([current])

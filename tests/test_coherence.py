@@ -1,0 +1,172 @@
+"""Tests for the multi-core write-invalidate substrate (paper Section 7)."""
+
+import random
+
+import pytest
+
+from repro.cppc import CppcProtection
+from repro.errors import ConfigurationError
+from repro.memsim import CoherentSystem, small_coherent_config
+
+
+def cppc_factory(core, level, unit_bits):
+    return CppcProtection(data_bits=unit_bits)
+
+
+def make_system(num_cores=2, protected=False):
+    return CoherentSystem(
+        num_cores,
+        small_coherent_config(),
+        protection_factory=cppc_factory if protected else (
+            lambda c, l, u: __import__("repro.memsim", fromlist=["NoProtection"]).NoProtection()
+        ),
+    )
+
+
+class TestConstruction:
+    def test_core_count(self):
+        assert make_system(4).num_cores == 4
+
+    def test_zero_cores_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CoherentSystem(0, small_coherent_config())
+
+    def test_core_range_checked(self):
+        system = make_system(2)
+        with pytest.raises(ConfigurationError):
+            system.load(2, 0)
+
+
+class TestCoherenceSemantics:
+    def test_store_invalidates_remote_copy(self):
+        system = make_system()
+        system.load(1, 0)
+        assert system.l1s[1].locate(0) is not None
+        system.store(0, 0, b"\xAB" * 8)
+        assert system.l1s[1].locate(0) is None
+        assert system.bus.invalidations == 1
+
+    def test_remote_dirty_data_visible_after_invalidation(self):
+        system = make_system()
+        system.store(0, 0, b"\x11" * 8)
+        # Core 1 writes the same block: core 0's dirty copy must be
+        # written back first, then core 1 sees it.
+        system.store(1, 8, b"\x22" * 8)
+        assert system.load(1, 0).data == b"\x11" * 8
+        assert system.bus.dirty_invalidations == 1
+
+    def test_load_downgrades_remote_dirty_copy(self):
+        system = make_system()
+        system.store(0, 0, b"\x33" * 8)
+        data = system.load(1, 0).data
+        assert data == b"\x33" * 8
+        # Core 0 keeps a clean copy (downgrade, not invalidation).
+        assert system.l1s[0].locate(0) is not None
+        assert system.l1s[0].dirty_unit_count() == 0
+        assert system.bus.downgrades == 1
+
+    def test_sequential_consistency_of_final_state(self):
+        system = make_system(2)
+        rng = random.Random(9)
+        golden = {}
+        for _ in range(600):
+            core = rng.randrange(2)
+            addr = rng.randrange(512) * 8
+            if rng.random() < 0.5:
+                value = rng.getrandbits(64).to_bytes(8, "big")
+                system.store(core, addr, value)
+                golden[addr] = value
+            else:
+                data = system.load(core, addr, 8).data
+                assert data == golden.get(addr, bytes(8))
+        system.flush()
+        for addr, value in golden.items():
+            assert system.memory.peek(addr, 8) == value
+
+
+class TestCppcUnderCoherence:
+    def assert_invariants(self, system):
+        for l1 in system.l1s:
+            protection = l1.protection
+            for i in range(protection.registers.num_pairs):
+                assert protection.registers.pairs[i].dirty_xor == (
+                    protection.dirty_xor_expected(i)
+                ), f"{l1.name} pair {i}"
+
+    def test_invariant_after_invalidations(self):
+        system = make_system(protected=True)
+        rng = random.Random(4)
+        for _ in range(400):
+            core = rng.randrange(2)
+            addr = rng.randrange(256) * 8
+            if rng.random() < 0.6:
+                system.store(core, addr, rng.getrandbits(64).to_bytes(8, "big"))
+            else:
+                system.load(core, addr)
+        self.assert_invariants(system)
+
+    def test_fault_recovery_still_works_after_sharing(self):
+        system = make_system(protected=True)
+        system.store(0, 0, b"\x44" * 8)
+        system.load(1, 0)        # downgrade core 0's copy
+        system.store(0, 0, b"\x55" * 8)  # invalidates core 1, re-dirties 0
+        l1 = system.l1s[0]
+        l1.corrupt_data(l1.locate(0), 1 << 63)
+        assert system.load(0, 0).data == b"\x55" * 8
+        assert l1.protection.recoveries == 1
+
+    def test_invalidations_reduce_read_before_writes(self):
+        """The paper's Section 7 hypothesis: write-invalidate sharing
+        cleans dirty words before their owner re-stores to them, so the
+        shared run performs fewer L1 read-before-writes than a private
+        run with the same per-core store stream."""
+        rng = random.Random(5)
+        stream = [
+            (rng.randrange(128) * 8, rng.getrandbits(64).to_bytes(8, "big"))
+            for _ in range(500)
+        ]
+        private = make_system(1, protected=True)
+        for addr, value in stream:
+            private.store(0, addr, value)
+
+        shared = make_system(2, protected=True)
+        for i, (addr, value) in enumerate(stream):
+            shared.store(i % 2, addr, value)
+
+        assert shared.bus.dirty_invalidations > 0
+        assert (
+            shared.total_read_before_writes()
+            < private.total_read_before_writes()
+        )
+
+
+class TestSharedL2Protection:
+    def test_l2_factory_gets_core_minus_one(self):
+        calls = []
+
+        def factory(core, level, unit_bits):
+            from repro.memsim import NoProtection
+
+            calls.append((core, level))
+            return NoProtection()
+
+        CoherentSystem(2, small_coherent_config(), protection_factory=factory)
+        assert (-1, "L2") in calls
+        assert (0, "L1D") in calls and (1, "L1D") in calls
+
+    def test_shared_l2_cppc_invariant_under_sharing(self):
+        system = CoherentSystem(
+            2, small_coherent_config(), protection_factory=cppc_factory
+        )
+        rng = random.Random(30)
+        for i in range(400):
+            addr = rng.randrange(512) * 8
+            if rng.random() < 0.6:
+                system.store(i % 2, addr, rng.getrandbits(64).to_bytes(8, "big"))
+            else:
+                system.load(i % 2, addr)
+        protection = system.l2.protection
+        for p in range(protection.registers.num_pairs):
+            assert protection.registers.pairs[p].dirty_xor == (
+                protection.dirty_xor_expected(p)
+            )

@@ -1,0 +1,72 @@
+"""Tests for the physical array geometry."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.cppc import PhysicalGeometry
+from repro.errors import ConfigurationError
+from repro.memsim import UnitLocation
+
+from conftest import make_tiny_cache
+
+
+@pytest.fixture
+def geometry():
+    return PhysicalGeometry(num_sets=16, ways=2, units_per_block=4, unit_bits=64)
+
+
+class TestRowMapping:
+    def test_rows_per_way(self, geometry):
+        assert geometry.rows_per_way == 64
+        assert geometry.total_rows == 128
+
+    def test_row_zero(self, geometry):
+        assert geometry.row_of(UnitLocation(0, 0, 0)) == 0
+
+    def test_consecutive_units_are_adjacent_rows(self, geometry):
+        r0 = geometry.row_of(UnitLocation(3, 0, 1))
+        r1 = geometry.row_of(UnitLocation(3, 0, 2))
+        assert r1 == r0 + 1
+
+    def test_consecutive_sets_are_adjacent_rows(self, geometry):
+        last = geometry.row_of(UnitLocation(3, 0, 3))
+        first = geometry.row_of(UnitLocation(4, 0, 0))
+        assert first == last + 1
+
+    @given(st.integers(min_value=0, max_value=1), st.integers(min_value=0, max_value=63))
+    def test_loc_of_inverts_row_of(self, way, row):
+        geometry = PhysicalGeometry(num_sets=16, ways=2, units_per_block=4, unit_bits=64)
+        loc = geometry.loc_of(way, row)
+        assert geometry.row_of(loc) == row
+        assert loc.way == way
+
+    def test_out_of_range(self, geometry):
+        with pytest.raises(ConfigurationError):
+            geometry.loc_of(2, 0)
+        with pytest.raises(ConfigurationError):
+            geometry.loc_of(0, 64)
+        with pytest.raises(ConfigurationError):
+            geometry.row_of(UnitLocation(16, 0, 0))
+
+    def test_of_cache_matches_shape(self):
+        cache, _ = make_tiny_cache()
+        geometry = PhysicalGeometry.of_cache(cache)
+        assert geometry.num_sets == cache.num_sets
+        assert geometry.total_rows == cache.total_units
+
+
+class TestDistances:
+    def test_same_way_distance(self, geometry):
+        a = geometry.loc_of(0, 10)
+        b = geometry.loc_of(0, 14)
+        assert geometry.row_distance(a, b) == 4
+
+    def test_cross_way_distance_is_sentinel(self, geometry):
+        a = geometry.loc_of(0, 10)
+        b = geometry.loc_of(1, 10)
+        assert geometry.row_distance(a, b) == geometry.rows_per_way
+
+    def test_rows_in_square_clips_at_bottom(self, geometry):
+        locs = geometry.rows_in_square(0, 62, 8)
+        assert len(locs) == 2

@@ -1,0 +1,110 @@
+"""Property tests of the fundamental CPPC register invariant.
+
+At any instant, for every register pair, ``R1 XOR R2`` must equal the XOR
+of the rotated values of all dirty units in the pair's domain — under any
+sequence of loads, stores (full and partial), evictions and flushes, and
+for every register-file configuration the paper describes.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cppc import CppcProtection
+
+from conftest import make_cppc_cache
+
+
+def assert_invariant(cache):
+    protection: CppcProtection = cache.protection
+    for i in range(protection.registers.num_pairs):
+        assert protection.registers.pairs[i].dirty_xor == (
+            protection.dirty_xor_expected(i)
+        ), f"register pair {i} diverged from cache dirty contents"
+
+
+operations = st.lists(
+    st.tuples(
+        st.sampled_from(["load", "store", "store", "partial"]),
+        st.integers(min_value=0, max_value=255),
+        st.integers(min_value=0, max_value=(1 << 64) - 1),
+    ),
+    max_size=80,
+)
+
+
+@pytest.mark.parametrize("num_pairs", [1, 2, 4, 8])
+@pytest.mark.parametrize("byte_shifting", [True, False])
+class TestInvariantConfigurations:
+    @settings(max_examples=20, deadline=None)
+    @given(ops=operations)
+    def test_invariant_under_random_operations(self, num_pairs, byte_shifting, ops):
+        cache, _ = make_cppc_cache(
+            num_pairs=num_pairs, byte_shifting=byte_shifting
+        )
+        for kind, slot, value in ops:
+            addr = (slot * 8) % 4096
+            if kind == "load":
+                cache.load(addr, 8)
+            elif kind == "store":
+                cache.store(addr, value.to_bytes(8, "big"))
+            else:  # partial store of 1 byte
+                cache.store(addr + (value % 8), bytes([value & 0xFF]))
+        assert_invariant(cache)
+
+    def test_invariant_after_flush(self, num_pairs, byte_shifting):
+        cache, _ = make_cppc_cache(
+            num_pairs=num_pairs, byte_shifting=byte_shifting
+        )
+        rng = random.Random(11)
+        for _ in range(100):
+            cache.store(rng.randrange(1024) * 8, rng.getrandbits(64).to_bytes(8, "big"))
+        cache.flush()
+        assert_invariant(cache)
+        # After a flush nothing is dirty, so every pair must read zero.
+        for pair in cache.protection.registers.pairs:
+            assert pair.dirty_xor == 0
+
+
+class TestInvariantDetails:
+    def test_clean_to_dirty_transition_enters_full_word(self):
+        """Our documented interpretation: a byte store to a clean word
+        XORs the whole resulting word into R1 (DESIGN.md)."""
+        cache, memory = make_cppc_cache()
+        memory.poke(0, bytes(range(32)))
+        cache.load(0, 8)  # line resident and clean
+        cache.store(3, b"\xAA")  # 1-byte store to a clean word
+        assert_invariant(cache)
+
+    def test_overwrite_dirty_moves_old_to_r2(self):
+        cache, _ = make_cppc_cache()
+        cache.store(0, b"\x01" * 8)
+        cache.store(0, b"\x02" * 8)
+        protection = cache.protection
+        pair = protection.registers.pairs[0]
+        assert pair.r2 != 0  # the displaced value entered R2
+        assert_invariant(cache)
+
+    def test_eviction_moves_dirty_words_to_r2(self):
+        cache, _ = make_cppc_cache()
+        cache.store(0, b"\x03" * 8)
+        stride = cache.num_sets * 32
+        cache.load(stride, 8)
+        cache.load(2 * stride, 8)  # evict the dirty line
+        assert cache.dirty_unit_count() == 0
+        assert_invariant(cache)
+
+    def test_rbw_counter_tracks_dirty_stores_only(self):
+        cache, _ = make_cppc_cache()
+        cache.store(0, b"\x01" * 8)  # clean -> dirty: no RBW
+        assert cache.stats.read_before_writes == 0
+        cache.store(0, b"\x02" * 8)  # dirty overwrite: RBW
+        assert cache.stats.read_before_writes == 1
+
+    def test_wide_store_updates_multiple_units(self):
+        cache, _ = make_cppc_cache()
+        cache.store(0, b"\x0F" * 32)  # full block store
+        assert cache.dirty_unit_count() == 4
+        assert_invariant(cache)

@@ -1,0 +1,150 @@
+"""Direct tests of the fault locator, including the paper's worked example."""
+
+import pytest
+
+from repro.cppc import FaultLocator, FaultyUnit, RotationScheme
+from repro.errors import FaultLocatorError
+from repro.memsim import UnitLocation
+from repro.util import flip_bits, rotl_bytes
+
+
+def make_unit(row, *, delta=0, parities=(), value=0):
+    return FaultyUnit(
+        loc=UnitLocation(set_index=row // 4, way=0, unit_index=row % 4),
+        rotation_class=row % 8,
+        row=row,
+        stored_value=value ^ delta,
+        faulty_parities=frozenset(parities),
+    )
+
+
+def build_evidence(deltas_by_row):
+    """From true per-row deltas, derive (faulty_units, r3)."""
+    units = []
+    r3 = 0
+    for row, delta in deltas_by_row.items():
+        groups = {k % 8 for k in range(64) if delta >> (63 - k) & 1}
+        units.append(make_unit(row, delta=delta, parities=groups))
+        r3 ^= rotl_bytes(delta, row % 8)
+    return units, r3
+
+
+class TestPaperWorkedExample:
+    def test_section_4_5_bits_5_to_12_of_four_classes(self):
+        """The full Section 4.5 walk-through: P0-P7 of classes 0-3 flag,
+        R3 bits 0-12 and 45-63 are set; the locator must place the fault
+        at bits 5-12 of all four words."""
+        delta = flip_bits(0, range(5, 13))  # bits 5-12
+        deltas = {row: delta for row in range(4)}
+        units, r3 = build_evidence(deltas)
+        # Sanity: the evidence matches the paper's description.
+        expected_r3 = flip_bits(0, list(range(0, 13)) + list(range(45, 64)))
+        assert r3 == expected_r3
+        assert all(u.faulty_parities == frozenset(range(8)) for u in units)
+
+        located = FaultLocator(RotationScheme()).locate(units, r3)
+        assert all(located[u.loc] == delta for u in units)
+
+    def test_section_4_5_faulty_sets_structure(self):
+        """Step 2 of the worked example: R3 faulty byte 0's candidate
+        source bytes for classes 0-3 are {0, 1, 2, 3}."""
+        rotation = RotationScheme()
+        candidates = {rotation.src_byte(0, c) for c in range(4)}
+        assert candidates == {0, 1, 2, 3}
+
+
+class TestSingleByteAlignments:
+    @pytest.mark.parametrize("byte", range(8))
+    def test_vertical_pair_in_any_byte(self, byte):
+        delta = 0x80 << (8 * (7 - byte))  # bit 0 of `byte`
+        units, r3 = build_evidence({0: delta, 1: delta})
+        located = FaultLocator(RotationScheme()).locate(units, r3)
+        assert located[units[0].loc] == delta
+        assert located[units[1].loc] == delta
+
+    def test_different_bits_per_row(self):
+        deltas = {
+            0: flip_bits(0, [0, 1]),    # byte 0, groups 0-1
+            1: flip_bits(0, [2]),       # byte 0, group 2
+            2: flip_bits(0, [0, 3]),    # byte 0, groups 0, 3
+        }
+        units, r3 = build_evidence(deltas)
+        located = FaultLocator(RotationScheme()).locate(units, r3)
+        for u, row in zip(units, deltas):
+            assert located[u.loc] == deltas[row]
+
+
+class TestAmbiguousAndInvalid:
+    def test_distance_four_alias_is_ambiguous(self):
+        """Section 4.6: same byte of classes 0 and 4 cannot be located."""
+        delta = 0x80 << 56
+        units, r3 = build_evidence({0: delta, 4: delta})
+        with pytest.raises(FaultLocatorError):
+            FaultLocator(RotationScheme()).locate(units, r3)
+
+    def test_full_square_is_ambiguous(self):
+        delta = 0xFF << 56  # whole byte 0
+        units, r3 = build_evidence({row: delta for row in range(8)})
+        with pytest.raises(FaultLocatorError):
+            FaultLocator(RotationScheme()).locate(units, r3)
+
+    def test_duplicate_classes_rejected(self):
+        delta = 0x80 << 56
+        units, r3 = build_evidence({0: delta, 8: delta})  # both class 0
+        with pytest.raises(FaultLocatorError):
+            FaultLocator(RotationScheme()).locate(units, r3)
+
+    def test_empty_inputs_rejected(self):
+        locator = FaultLocator(RotationScheme())
+        with pytest.raises(FaultLocatorError):
+            locator.locate([], 1)
+        units, _ = build_evidence({0: 1})
+        with pytest.raises(FaultLocatorError):
+            locator.locate(units, 0)
+
+    def test_unit_without_parities_rejected(self):
+        unit = make_unit(0, delta=0, parities=())
+        with pytest.raises(FaultLocatorError):
+            FaultLocator(RotationScheme()).locate([unit], 123)
+
+    def test_inconsistent_parities_fail(self):
+        """Parity flags that cannot be explained by any alignment."""
+        delta = 0x80 << 56
+        units, r3 = build_evidence({0: delta, 1: delta})
+        bad = FaultyUnit(
+            loc=units[0].loc,
+            rotation_class=units[0].rotation_class,
+            row=units[0].row,
+            stored_value=units[0].stored_value,
+            faulty_parities=frozenset({5}),  # wrong group
+        )
+        with pytest.raises(FaultLocatorError):
+            FaultLocator(RotationScheme()).locate([bad, units[1]], r3)
+
+    def test_construction_accepts_byte_aligned_units(self):
+        assert FaultLocator(RotationScheme()).nbytes == 8
+        assert FaultLocator(
+            RotationScheme(unit_bytes=32, num_classes=8)
+        ).nbytes == 32
+
+
+class TestWideUnits:
+    def test_l2_width_locator(self):
+        """256-bit units (L2 CPPC) with classes 0-7."""
+        rotation = RotationScheme(unit_bytes=32, num_classes=8)
+        delta = 0x80 << (8 * 31)  # bit 0 of byte 0 in a 32-byte unit
+        units = []
+        r3 = 0
+        for row in range(3):
+            units.append(
+                FaultyUnit(
+                    loc=UnitLocation(row, 0, 0),
+                    rotation_class=row,
+                    row=row,
+                    stored_value=delta,
+                    faulty_parities=frozenset({0}),
+                )
+            )
+            r3 ^= rotation.rotate_in(delta, row)
+        located = FaultLocator(rotation).locate(units, r3)
+        assert all(located[u.loc] == delta for u in units)

@@ -1,0 +1,111 @@
+"""Tests for CPPC register pairs and the register file."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.cppc import RegisterFile, RegisterPair
+from repro.errors import ConfigurationError
+
+words = st.integers(min_value=0, max_value=(1 << 64) - 1)
+
+
+class TestRegisterPair:
+    def test_starts_clear(self):
+        pair = RegisterPair(64)
+        assert pair.r1 == 0 and pair.r2 == 0 and pair.dirty_xor == 0
+
+    def test_write_then_remove_cancels(self):
+        pair = RegisterPair(64)
+        pair.on_written(0xABC)
+        pair.on_dirty_removed(0xABC)
+        assert pair.dirty_xor == 0
+
+    def test_paper_section_3_3_example(self):
+        """Two 16-bit stores; R1 accumulates, R2 untouched (Figure 3)."""
+        pair = RegisterPair(16)
+        pair.on_written(0x0000)
+        pair.on_written(0x8000)
+        assert pair.r1 == 0x8000
+        assert pair.r2 == 0
+        # Recovery: R1 ^ R2 ^ Word1 reconstructs Word0 = 0x0000.
+        assert pair.dirty_xor ^ 0x8000 == 0x0000
+
+    @given(st.lists(words, max_size=30))
+    def test_dirty_xor_is_running_xor(self, values):
+        pair = RegisterPair(64)
+        acc = 0
+        for v in values:
+            pair.on_written(v)
+            acc ^= v
+        assert pair.dirty_xor == acc
+
+    def test_width_validation(self):
+        with pytest.raises(ConfigurationError):
+            RegisterPair(0)
+        with pytest.raises(ConfigurationError):
+            RegisterPair(63)
+        pair = RegisterPair(8)
+        with pytest.raises(ConfigurationError):
+            pair.on_written(0x100)
+
+    def test_reset(self):
+        pair = RegisterPair(64)
+        pair.on_written(5)
+        pair.on_dirty_removed(9)
+        pair.reset()
+        assert pair.r1 == 0 and pair.r2 == 0
+
+
+class TestRegisterFile:
+    @pytest.mark.parametrize("pairs", [1, 2, 4, 8])
+    def test_valid_pair_counts(self, pairs):
+        rf = RegisterFile(64, num_pairs=pairs)
+        assert len(rf.pairs) == pairs
+        assert rf.storage_bits == 2 * pairs * 64
+
+    def test_invalid_pair_count(self):
+        with pytest.raises(ConfigurationError):
+            RegisterFile(64, num_pairs=3)
+
+    def test_pairs_must_divide_classes(self):
+        with pytest.raises(ConfigurationError):
+            RegisterFile(64, num_pairs=8, num_classes=4)
+
+    def test_single_pair_covers_all_classes(self):
+        rf = RegisterFile(64, num_pairs=1)
+        assert {rf.pair_index_of_class(c) for c in range(8)} == {0}
+
+    def test_two_pairs_split_halves(self):
+        """Section 4.6: classes 0-3 on one pair, 4-7 on the other."""
+        rf = RegisterFile(64, num_pairs=2)
+        assert [rf.pair_index_of_class(c) for c in range(8)] == [0] * 4 + [1] * 4
+
+    def test_eight_pairs_one_per_class(self):
+        rf = RegisterFile(64, num_pairs=8)
+        assert [rf.pair_index_of_class(c) for c in range(8)] == list(range(8))
+
+    def test_classes_of_pair_inverts_mapping(self):
+        for pairs in (1, 2, 4, 8):
+            rf = RegisterFile(64, num_pairs=pairs)
+            for p in range(pairs):
+                for c in rf.classes_of_pair(p):
+                    assert rf.pair_index_of_class(c) == p
+
+    def test_class_out_of_range(self):
+        rf = RegisterFile(64)
+        with pytest.raises(ConfigurationError):
+            rf.pair_index_of_class(8)
+        with pytest.raises(ConfigurationError):
+            rf.classes_of_pair(1)
+
+    def test_pair_of_class_returns_distinct_objects(self):
+        rf = RegisterFile(64, num_pairs=2)
+        assert rf.pair_of_class(0) is not rf.pair_of_class(7)
+
+    def test_reset_clears_all(self):
+        rf = RegisterFile(64, num_pairs=4)
+        for pair in rf.pairs:
+            pair.on_written(77)
+        rf.reset()
+        assert all(p.dirty_xor == 0 for p in rf.pairs)

@@ -1,0 +1,122 @@
+"""Tests for rotation classes, byte shifting and the shifter model."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.cppc import BarrelShifterModel, RotationScheme
+from repro.errors import ConfigurationError
+from repro.util import get_bit, get_byte
+
+words = st.integers(min_value=0, max_value=(1 << 64) - 1)
+classes = st.integers(min_value=0, max_value=7)
+
+
+class TestRotationScheme:
+    def test_class_of_row_is_mod(self):
+        rs = RotationScheme()
+        assert [rs.class_of_row(r) for r in range(10)] == [
+            0, 1, 2, 3, 4, 5, 6, 7, 0, 1,
+        ]
+
+    def test_negative_row_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RotationScheme().class_of_row(-1)
+
+    @given(words, classes)
+    def test_rotate_out_inverts_rotate_in(self, x, c):
+        rs = RotationScheme()
+        assert rs.rotate_out(rs.rotate_in(x, c), c) == x
+
+    def test_class_zero_is_identity(self):
+        rs = RotationScheme()
+        assert rs.rotate_in(0x123456789ABCDEF0, 0) == 0x123456789ABCDEF0
+
+    @given(st.integers(min_value=0, max_value=7), classes)
+    def test_dest_src_byte_inverse(self, b, c):
+        rs = RotationScheme()
+        assert rs.src_byte(rs.dest_byte(b, c), c) == b
+
+    @given(words, classes, st.integers(min_value=0, max_value=7))
+    def test_dest_byte_matches_rotation(self, x, c, b):
+        """The byte map must agree with the actual rotation."""
+        rs = RotationScheme()
+        rotated = rs.rotate_in(x, c)
+        assert get_byte(rotated, rs.dest_byte(b, c)) == get_byte(x, b)
+
+    def test_paper_figure_5_example(self):
+        """16-bit words: bit j of R1 is XOR of bit j of word0 and
+        bit (j+8) mod 16 of word1 after rotating word1 by one byte."""
+        rs = RotationScheme(unit_bytes=2, num_classes=2)
+        word1 = 0b1000000000000000  # bit 0 set (MSB-first)
+        rotated = rs.rotate_in(word1, 1)
+        assert get_bit(rotated, 8, 16) == 1
+        assert get_bit(rotated, 0, 16) == 0
+
+    def test_disabled_scheme_is_identity(self):
+        rs = RotationScheme(enabled=False)
+        assert rs.rotate_in(0xABCD, 5) == 0xABCD
+        assert rs.dest_byte(3, 5) == 3
+
+    def test_num_classes_cannot_exceed_bytes_when_enabled(self):
+        with pytest.raises(ConfigurationError):
+            RotationScheme(unit_bytes=4, num_classes=8)
+        # ...but is fine when shifting is disabled (Section 4.11).
+        RotationScheme(unit_bytes=4, num_classes=8, enabled=False)
+
+    def test_l2_width_rotation(self):
+        """32-byte units rotate by at most 7 bytes (classes 0-7)."""
+        rs = RotationScheme(unit_bytes=32, num_classes=8)
+        x = 0xAB << (8 * 31)  # byte 0 of a 256-bit unit
+        assert get_byte(rs.rotate_in(x, 1), 31, 32) == 0xAB
+
+
+class TestVerticalSeparation:
+    @given(st.integers(min_value=0, max_value=63))
+    def test_adjacent_rows_never_collide_in_registers(self, bit):
+        """The core byte-shifting property (Section 4.1): the same bit of
+        two adjacent rows lands in different register bits."""
+        rs = RotationScheme()
+        x = 1 << (63 - bit)
+        for c in range(7):
+            a = rs.rotate_in(x, c)
+            b = rs.rotate_in(x, c + 1)
+            assert a != b
+            assert a & b == 0  # fully disjoint single bits
+
+    def test_eight_classes_spread_one_column_over_all_bytes(self):
+        """Figure 7: a vertical hit in byte 0 of 8 class rows touches all
+        8 register bytes."""
+        rs = RotationScheme()
+        x = 0x80 << 56  # bit 0 of byte 0
+        dests = {rs.dest_byte(0, c) for c in range(8)}
+        assert dests == set(range(8))
+
+
+class TestBarrelShifterModel:
+    def test_structure_counts(self):
+        """Section 4.8: n/8 * log2(n/8) muxes in log2(n/8) stages."""
+        model = BarrelShifterModel(width_bits=64)
+        assert model.num_stages == 3
+        assert model.num_muxes == 8 * 3
+        assert model.general_shifter_muxes == 64 * 6
+
+    def test_cheaper_than_general_shifter(self):
+        model = BarrelShifterModel(width_bits=64)
+        assert model.num_muxes < model.general_shifter_muxes / 10
+
+    def test_reference_energy_and_delay(self):
+        """[9]: a 32-bit rotate costs <= 0.4ns and ~1.5 pJ at 90nm."""
+        model = BarrelShifterModel(width_bits=32)
+        assert model.delay_ns == pytest.approx(0.4)
+        assert model.energy_pj == pytest.approx(1.5)
+
+    def test_not_on_critical_path(self):
+        """Section 4.8: shifter delay is well under the 0.78ns access
+        time CACTI reports for an 8KB cache."""
+        model = BarrelShifterModel(width_bits=64)
+        assert model.delay_ns < 0.78
+
+    def test_width_validation(self):
+        with pytest.raises(ConfigurationError):
+            BarrelShifterModel(width_bits=60)

@@ -1,0 +1,115 @@
+"""End-to-end safety properties under randomised traffic and faults.
+
+The defining guarantee of each scheme, stated as hypothesis properties
+over random operation sequences and random single-fault injections:
+
+* a CPPC cache never returns wrong data — every load matches a flat
+  golden model, fault or no fault;
+* a SECDED cache has the same guarantee for single-bit faults;
+* a parity cache never returns wrong data either — it may halt (DUE)
+  instead, which the property treats as an acceptable outcome.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import UncorrectableError
+from repro.memsim import ParityProtection, SecdedProtection
+
+from conftest import make_cppc_cache, make_tiny_cache
+
+operations = st.lists(
+    st.tuples(
+        st.sampled_from(["load", "store"]),
+        st.integers(min_value=0, max_value=127),
+        st.integers(min_value=0, max_value=(1 << 64) - 1),
+    ),
+    min_size=10,
+    max_size=60,
+)
+
+fault_spec = st.tuples(
+    st.integers(min_value=0, max_value=10_000),  # unit picker
+    st.integers(min_value=0, max_value=63),      # bit
+    st.booleans(),                               # data (True) or check bits
+)
+
+
+def run_with_fault(cache, ops, fault, split):
+    """Run ops with one injected fault midway; loads verified vs golden.
+
+    Returns "ok" or "due"; wrong data raises AssertionError.
+    """
+    flat = {}
+    midpoint = max(1, len(ops) * split // 100)
+    try:
+        for index, (kind, slot, value) in enumerate(ops):
+            addr = (slot * 8) % 1024
+            if kind == "store":
+                data = value.to_bytes(8, "big")
+                cache.store(addr, data)
+                flat[addr] = data
+            else:
+                got = cache.load(addr, 8).data
+                assert got == flat.get(addr, bytes(8)), (
+                    f"silent corruption at {addr:#x}"
+                )
+            if index == midpoint:
+                unit_picker, bit, hit_data = fault
+                locations = cache.resident_locations()
+                if locations:
+                    loc = locations[unit_picker % len(locations)]
+                    if hit_data:
+                        cache.corrupt_data(loc, 1 << (63 - bit))
+                    else:
+                        cache.corrupt_check(
+                            loc, 1 << (bit % cache.protection.check_bits_per_unit)
+                        )
+        cache.flush()
+        for addr, data in flat.items():
+            assert cache.next_level.peek(addr, 8) == data, (
+                f"latent corruption at {addr:#x}"
+            )
+    except UncorrectableError:
+        return "due"
+    return "ok"
+
+
+class TestCppcNeverLies:
+    @settings(max_examples=40, deadline=None)
+    @given(ops=operations, fault=fault_spec,
+           split=st.integers(min_value=10, max_value=90))
+    def test_single_fault_cannot_corrupt_cppc(self, ops, fault, split):
+        cache, _ = make_cppc_cache()
+        outcome = run_with_fault(cache, ops, fault, split)
+        # CPPC corrects every single fault: a DUE would mean the scheme
+        # gave up on something it promises to handle.
+        assert outcome == "ok"
+
+    @settings(max_examples=25, deadline=None)
+    @given(ops=operations, fault=fault_spec,
+           split=st.integers(min_value=10, max_value=90),
+           pairs=st.sampled_from([2, 4, 8]))
+    def test_multi_pair_configurations_too(self, ops, fault, split, pairs):
+        cache, _ = make_cppc_cache(num_pairs=pairs)
+        assert run_with_fault(cache, ops, fault, split) == "ok"
+
+
+class TestDetectionSchemesNeverLie:
+    @settings(max_examples=40, deadline=None)
+    @given(ops=operations, fault=fault_spec,
+           split=st.integers(min_value=10, max_value=90))
+    def test_parity_halts_or_survives_but_never_corrupts(
+        self, ops, fault, split
+    ):
+        cache, _ = make_tiny_cache(ParityProtection())
+        outcome = run_with_fault(cache, ops, fault, split)
+        assert outcome in ("ok", "due")
+
+    @settings(max_examples=40, deadline=None)
+    @given(ops=operations, fault=fault_spec,
+           split=st.integers(min_value=10, max_value=90))
+    def test_secded_corrects_every_single_fault(self, ops, fault, split):
+        cache, _ = make_tiny_cache(SecdedProtection())
+        assert run_with_fault(cache, ops, fault, split) == "ok"

@@ -1,0 +1,190 @@
+"""Tests for the CACTI-style energy model and per-scheme accounting."""
+
+import pytest
+
+from repro.energy import (
+    CacheEnergyModel,
+    area_comparison,
+    energy_model_for,
+    normalized_energies,
+    scheme_area,
+    scheme_energy,
+)
+from repro.errors import ConfigurationError
+from repro.memsim import CacheStats, PAPER_CONFIG
+
+
+def l1_model(**kwargs):
+    return CacheEnergyModel(
+        size_bytes=32 * 1024, ways=2, block_bytes=32, unit_bytes=8,
+        check_bits_per_unit=8, **kwargs,
+    )
+
+
+def stats_with(loads=1000, stores=400, stores_to_dirty=150, misses=80):
+    s = CacheStats()
+    s.read_hits = loads - misses
+    s.read_misses = misses
+    s.write_hits = stores
+    s.stores_to_dirty_units = stores_to_dirty
+    return s
+
+
+class TestCactiCalibration:
+    def test_reference_access_energy(self):
+        """Section 4.8: ~240 pJ per access for a 32KB 2-way cache at 90nm."""
+        model = l1_model(tech_nm=90.0)
+        assert model.read_unit_pj == pytest.approx(240.0, rel=0.01)
+
+    def test_bitline_share_near_six_percent_at_l1(self):
+        model = l1_model(tech_nm=90.0)
+        assert model.bitline_fraction == pytest.approx(0.06, abs=0.005)
+
+    def test_bitline_share_near_ten_percent_at_l2(self):
+        model = CacheEnergyModel(
+            size_bytes=1024 * 1024, ways=4, block_bytes=32, unit_bytes=32,
+            check_bits_per_unit=8, tech_nm=90.0,
+        )
+        assert 0.07 < model.bitline_fraction < 0.13
+
+    def test_interleaving_multiplies_bitline_energy(self):
+        plain = l1_model()
+        interleaved = l1_model(bitline_interleave=8)
+        ratio = interleaved.read_unit_pj / plain.read_unit_pj
+        # 7 extra bitline shares: the paper's +42% L1 SECDED overhead.
+        assert ratio == pytest.approx(1.42, abs=0.03)
+
+    def test_line_read_costs_less_than_four_words(self):
+        model = l1_model()
+        assert model.read_unit_pj < model.read_line_pj < 4 * model.read_unit_pj
+
+    def test_tech_scaling_quadratic(self):
+        at90 = l1_model(tech_nm=90.0).read_unit_pj
+        at32 = l1_model(tech_nm=32.0).read_unit_pj
+        assert at32 / at90 == pytest.approx((32 / 90) ** 2, rel=1e-6)
+
+    def test_access_time_reference(self):
+        """Section 4.8: 0.78ns for an 8KB direct-mapped cache at 90nm."""
+        model = CacheEnergyModel(
+            size_bytes=8 * 1024, ways=1, block_bytes=32, unit_bytes=8,
+            check_bits_per_unit=0, tech_nm=90.0,
+        )
+        assert model.access_time_ns == pytest.approx(0.78, rel=0.01)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            CacheEnergyModel(size_bytes=1000, ways=3, block_bytes=32)
+        with pytest.raises(ConfigurationError):
+            l1_model(bitline_interleave=0)
+        with pytest.raises(ConfigurationError):
+            l1_model(tech_nm=0)
+
+
+class TestSchemeEnergy:
+    def test_paper_ordering_l1(self):
+        """parity < cppc < secded < 2d for a typical L1 mix."""
+        stats = stats_with()
+        energies = {
+            scheme: scheme_energy(scheme, stats, PAPER_CONFIG.l1d).total_pj
+            for scheme in ("parity", "cppc", "secded", "2d-parity")
+        }
+        assert (
+            energies["parity"]
+            < energies["cppc"]
+            < energies["secded"]
+            < energies["2d-parity"]
+        )
+
+    def test_cppc_overhead_tracks_dirty_stores(self):
+        low = scheme_energy(
+            "cppc", stats_with(stores_to_dirty=10), PAPER_CONFIG.l1d
+        )
+        high = scheme_energy(
+            "cppc", stats_with(stores_to_dirty=350), PAPER_CONFIG.l1d
+        )
+        assert high.read_before_write_pj > low.read_before_write_pj
+        assert high.total_pj > low.total_pj
+
+    def test_2d_charges_all_stores_and_misses(self):
+        stats = stats_with()
+        breakdown = scheme_energy("2d-parity", stats, PAPER_CONFIG.l1d)
+        model = energy_model_for("2d-parity", PAPER_CONFIG.l1d)
+        assert breakdown.read_before_write_pj == pytest.approx(
+            stats.stores * model.read_unit_pj
+        )
+        assert breakdown.miss_line_read_pj == pytest.approx(
+            stats.misses * model.read_line_pj
+        )
+
+    def test_cppc_shifter_energy_is_negligible(self):
+        breakdown = scheme_energy("cppc", stats_with(), PAPER_CONFIG.l1d)
+        assert breakdown.shifter_pj < 0.01 * breakdown.total_pj
+
+    def test_normalized_baseline_is_one(self):
+        normalized = normalized_energies(stats_with(), PAPER_CONFIG.l1d)
+        assert normalized["parity"] == pytest.approx(1.0)
+
+    def test_normalization_requires_activity(self):
+        with pytest.raises(ConfigurationError):
+            normalized_energies(CacheStats(), PAPER_CONFIG.l1d)
+
+    def test_unknown_scheme(self):
+        with pytest.raises(ConfigurationError):
+            scheme_energy("raid6", stats_with(), PAPER_CONFIG.l1d)
+
+    def test_secded_l2_ratio_matches_paper(self):
+        """Figure 12: SECDED L2 is ~68% over 1-D parity, workload
+        independent (pure bitline effect)."""
+        normalized = normalized_energies(stats_with(), PAPER_CONFIG.l2)
+        assert normalized["secded"] == pytest.approx(1.68, abs=0.08)
+
+
+class TestArea:
+    def test_parity_is_baseline_overhead(self):
+        report = scheme_area("parity", PAPER_CONFIG.l1d)
+        assert report.overhead_vs_data(PAPER_CONFIG.l1d.size_bytes * 8) == (
+            pytest.approx(0.125)
+        )
+
+    def test_paper_ordering(self):
+        """Section 5.1: parity < CPPC << SECDED / 2-D parity."""
+        overheads = area_comparison(PAPER_CONFIG.l1d)
+        assert overheads["parity"] < overheads["cppc"]
+        assert overheads["cppc"] < overheads["secded"]
+        # CPPC adds only registers+shifters on top of parity.
+        assert overheads["cppc"] - overheads["parity"] < 0.001
+
+    def test_more_pairs_cost_more(self):
+        one = scheme_area("cppc", PAPER_CONFIG.l1d, num_register_pairs=1)
+        eight = scheme_area("cppc", PAPER_CONFIG.l1d, num_register_pairs=8)
+        assert eight.total_bits > one.total_bits
+
+    def test_unknown_scheme(self):
+        with pytest.raises(ConfigurationError):
+            scheme_area("tmr", PAPER_CONFIG.l1d)
+
+
+class TestModelConfiguration:
+    def test_secded_l2_uses_wider_check_field(self):
+        l1 = energy_model_for("secded", PAPER_CONFIG.l1d)
+        l2 = energy_model_for("secded", PAPER_CONFIG.l2)
+        assert l1.check_bits_per_unit == 8    # (72, 64)
+        assert l2.check_bits_per_unit == 10   # SECDED over 256 bits
+
+    def test_parity_family_uses_eight_bits(self):
+        for scheme in ("parity", "cppc", "2d-parity"):
+            model = energy_model_for(scheme, PAPER_CONFIG.l1d)
+            assert model.check_bits_per_unit == 8
+
+    def test_only_secded_interleaves(self):
+        assert energy_model_for("secded", PAPER_CONFIG.l1d).bitline_interleave == 8
+        assert energy_model_for("cppc", PAPER_CONFIG.l1d).bitline_interleave == 1
+
+    def test_breakdown_total_is_sum(self):
+        breakdown = scheme_energy("2d-parity", stats_with(), PAPER_CONFIG.l1d)
+        assert breakdown.total_pj == pytest.approx(
+            breakdown.base_pj
+            + breakdown.read_before_write_pj
+            + breakdown.miss_line_read_pj
+            + breakdown.shifter_pj
+        )

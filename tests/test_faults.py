@@ -1,0 +1,144 @@
+"""Tests for fault models and the injector."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.faults import FaultInjector, SpatialFault, TemporalFault
+from repro.memsim import UnitLocation
+
+from conftest import make_cppc_cache, make_tiny_cache
+
+
+class TestTemporalFault:
+    def test_flip_mask(self):
+        fault = TemporalFault(UnitLocation(0, 0, 0), bit_index=0)
+        flips = fault.flips(64)
+        assert len(flips) == 1
+        assert flips[0].mask == 1 << 63
+
+    def test_lsb(self):
+        fault = TemporalFault(UnitLocation(0, 0, 0), bit_index=63)
+        assert fault.flips(64)[0].mask == 1
+
+    def test_out_of_range(self):
+        with pytest.raises(ConfigurationError):
+            TemporalFault(UnitLocation(0, 0, 0), bit_index=64).flips(64)
+
+
+class TestSpatialFault:
+    def test_row_masks_shape(self):
+        fault = SpatialFault(way=0, top_row=3, left_col=0, height=4, width=8)
+        masks = fault.row_masks(64)
+        assert sorted(masks) == [3, 4, 5, 6]
+        assert all(m == (0xFF << 56) for m in masks.values())
+
+    def test_column_clipping(self):
+        fault = SpatialFault(way=0, top_row=0, left_col=60, height=1, width=8)
+        masks = fault.row_masks(64)
+        assert masks[0] == 0b1111  # only bits 60-63 fit
+
+    def test_fully_out_of_range_columns(self):
+        fault = SpatialFault(way=0, top_row=0, left_col=64, height=2, width=8)
+        assert fault.row_masks(64) == {}
+
+    def test_footprint(self):
+        assert SpatialFault(0, 0, 0, 3, 5).footprint == (3, 5)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            SpatialFault(way=0, top_row=0, left_col=0, height=0, width=1)
+        with pytest.raises(ConfigurationError):
+            SpatialFault(way=0, top_row=-1, left_col=0, height=1, width=1)
+
+
+class TestInjector:
+    def test_temporal_injection_changes_only_data(self):
+        cache, _ = make_tiny_cache()
+        cache.store(0, b"\x01" * 8)
+        loc = cache.locate(0)
+        value, check, _ = cache.peek_unit(loc)
+        injector = FaultInjector(cache)
+        record = injector.inject_temporal(TemporalFault(loc, 7))
+        assert record.total_bits == 1
+        value2, check2, _ = cache.peek_unit(loc)
+        assert value2 == value ^ (1 << 56)
+        assert check2 == check
+
+    def test_spatial_injection_skips_invalid_lines(self):
+        cache, _ = make_tiny_cache()
+        cache.store(0, b"\x01" * 8)  # only set 0 way 0 valid
+        injector = FaultInjector(cache)
+        fault = SpatialFault(way=0, top_row=0, left_col=0, height=8, width=2)
+        record = injector.inject_spatial(fault)
+        # Only the 4 units of the single valid line can be hit.
+        assert 1 <= len(record.flips) <= 4
+
+    def test_random_temporal_deterministic_under_seed(self):
+        results = []
+        for _ in range(2):
+            cache, _ = make_tiny_cache()
+            cache.store(0, b"\x01" * 8)
+            cache.store(256, b"\x02" * 8)
+            record = FaultInjector(cache, seed=9).random_temporal()
+            results.append((record.flips[0].loc, record.flips[0].mask))
+        assert results[0] == results[1]
+
+    def test_random_temporal_dirty_only(self):
+        cache, _ = make_tiny_cache()
+        cache.load(0, 8)
+        cache.store(256, b"\x02" * 8)
+        for trial in range(10):
+            record = FaultInjector(cache, seed=trial).random_temporal(
+                dirty_only=True
+            )
+            loc = record.flips[0].loc
+            assert cache.peek_unit(loc)[2] is True
+
+    def test_random_temporal_empty_cache(self):
+        cache, _ = make_tiny_cache()
+        assert FaultInjector(cache).random_temporal() is None
+
+    def test_random_spatial_in_bounds(self):
+        cache, _ = make_cppc_cache()
+        for addr in range(0, 2048, 8):
+            cache.store(addr, b"\x01" * 8)
+        record = FaultInjector(cache, seed=3).random_spatial(height=8, width=8)
+        assert record is not None
+        assert record.total_bits <= 64
+
+
+class TestInterleavedInjection:
+    def test_secded_spatial_burst_splits_into_single_bits(self):
+        """With 8-way interleaving an 8-wide burst flips at most one bit
+        per word (paper Section 1)."""
+        from repro.memsim import SecdedProtection
+
+        cache, _ = make_tiny_cache(SecdedProtection())
+        for addr in range(0, 1024, 8):
+            cache.store(addr, b"\x01" * 8)
+        injector = FaultInjector(cache)
+        assert injector.interleaving_degree == 8
+        fault = SpatialFault(way=0, top_row=0, left_col=0, height=2, width=8)
+        record = injector.inject_spatial(fault)
+        assert all(bin(f.mask).count("1") == 1 for f in record.flips)
+
+    def test_secded_corrects_8x8_strike_end_to_end(self):
+        from repro.memsim import SecdedProtection
+
+        cache, _ = make_tiny_cache(SecdedProtection())
+        golden = {}
+        for addr in range(0, 1024, 8):
+            value = bytes([(addr // 8) % 256] * 8)
+            cache.store(addr, value)
+            golden[addr] = value
+        injector = FaultInjector(cache, seed=1)
+        record = injector.random_spatial(height=8, width=8)
+        assert record.flips
+        for addr, value in golden.items():
+            assert cache.load(addr, 8).data == value
+
+    def test_contiguous_layout_for_cppc(self):
+        cache, _ = make_cppc_cache()
+        assert FaultInjector(cache).interleaving_degree == 1

@@ -1,0 +1,175 @@
+"""Tests for the experiment harness (one runner per paper table/figure)."""
+
+import pytest
+
+from repro.harness import (
+    PAPER_TABLE2_L1,
+    PAPER_TABLE2_L2,
+    figure10,
+    figure11,
+    figure12,
+    format_table,
+    format_value,
+    run_all_benchmarks,
+    run_benchmark,
+    table2,
+    table3,
+)
+
+
+@pytest.fixture(scope="module")
+def small_runs():
+    """Shared small simulations for three representative benchmarks."""
+    return run_all_benchmarks(
+        n_references=4000, benchmarks=["gzip", "mcf", "eon"]
+    )
+
+
+class TestRunBenchmark:
+    def test_shape(self):
+        run = run_benchmark("gzip", n_references=1500)
+        assert run.name == "gzip"
+        assert len(run.events) == 1500
+        assert run.l1.accesses == 1500
+        assert run.units_per_block == 4
+
+    def test_warmup_excluded_from_stats(self):
+        run = run_benchmark("gzip", n_references=1000, warmup_fraction=0.5)
+        assert run.l1.accesses == 1000  # only the measured window
+
+    def test_deterministic(self):
+        a = run_benchmark("vpr", n_references=800)
+        b = run_benchmark("vpr", n_references=800)
+        assert a.l1.snapshot() == b.l1.snapshot()
+
+
+class TestFigure10(object):
+    def test_parity_baseline_normalises_to_one(self, small_runs):
+        result = figure10(small_runs)
+        for bench in result.per_benchmark:
+            assert result.normalized("parity", bench) == pytest.approx(1.0)
+
+    def test_overheads_ordered(self, small_runs):
+        result = figure10(small_runs)
+        for bench in result.per_benchmark:
+            assert (
+                result.normalized("cppc", bench)
+                <= result.normalized("2d-parity", bench) + 1e-9
+            )
+
+    def test_cppc_overhead_small(self, small_runs):
+        """The headline claim: CPPC's CPI overhead is well under 1%."""
+        result = figure10(small_runs)
+        assert result.average_overhead("cppc") < 0.01
+
+    def test_to_text_renders(self, small_runs):
+        text = figure10(small_runs).to_text()
+        assert "Figure 10" in text and "gzip" in text and "average" in text
+
+
+class TestFigures11And12:
+    def test_l1_energy_ordering(self, small_runs):
+        result = figure11(small_runs)
+        assert 1.0 < result.average("cppc") < result.average("2d-parity")
+        assert result.average("secded") == pytest.approx(1.42, abs=0.05)
+
+    def test_l2_cppc_cheaper_than_l1_cppc(self, small_runs):
+        """The paper's key observation: CPPC is relatively cheaper at L2
+        (fewer read-before-writes per access)."""
+        l1 = figure11(small_runs)
+        l2 = figure12(small_runs)
+        assert l2.average("cppc") < l1.average("cppc")
+
+    def test_every_benchmark_present(self, small_runs):
+        result = figure12(small_runs)
+        assert set(result.per_benchmark) == {"gzip", "mcf", "eon"}
+
+    def test_to_text_renders(self, small_runs):
+        assert "Figure 12" in figure12(small_runs).to_text()
+
+
+class TestTable2:
+    def test_metrics_in_range(self, small_runs):
+        result = table2(small_runs)
+        for row in result.per_benchmark.values():
+            assert 0 <= row["l1_dirty_fraction"] <= 1
+            assert 0 <= row["l2_dirty_fraction"] <= 1
+            assert row["l1_tavg_cycles"] >= 0
+
+    def test_reliability_inputs_bridge(self, small_runs):
+        result = table2(small_runs)
+        inputs = result.reliability_inputs("L1")
+        assert inputs.size_bits == 32 * 1024 * 8
+        assert inputs.dirty_fraction == pytest.approx(
+            result.average("l1_dirty_fraction")
+        )
+
+    def test_to_text_renders(self, small_runs):
+        assert "Table 2" in table2(small_runs).to_text()
+
+
+class TestTable3:
+    def test_default_uses_paper_inputs(self):
+        result = table3()
+        assert result.mttf_years["one-dimensional parity"]["L1"] > 1e3
+        assert result.mttf_years["cppc"]["L2"] > 1e15
+        assert result.mttf_years["secded"]["L1"] > result.mttf_years["cppc"]["L1"]
+
+    def test_paper_input_constants(self):
+        assert PAPER_TABLE2_L1.dirty_fraction == 0.16
+        assert PAPER_TABLE2_L2.tavg_cycles == 378997
+
+    def test_to_text_renders(self):
+        text = table3().to_text()
+        assert "Table 3" in text and "aliasing" in text
+
+
+class TestReporting:
+    def test_format_value(self):
+        assert format_value(3) == "3"
+        assert format_value(0.5) == "0.500"
+        assert format_value(8.02e21) == "8.02e+21"
+        assert format_value(float("inf")) == "inf"
+        assert format_value("name") == "name"
+
+    def test_format_table_alignment(self):
+        text = format_table(["name", "value"], [["a", 1.0], ["bb", 22.5]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert "name" in lines[0]
+
+    def test_format_table_with_title(self):
+        text = format_table(["x"], [[1]], title="T")
+        assert text.startswith("T\n=")
+
+
+class TestCharts:
+    def test_figure10_chart_renders(self, small_runs):
+        chart = figure10(small_runs).to_chart()
+        assert "Figure 10" in chart and "legend:" in chart
+
+    def test_energy_chart_renders(self, small_runs):
+        chart = figure11(small_runs).to_chart()
+        assert "Figure 11" in chart
+        assert "cppc" in chart and "secded" in chart
+
+
+class TestScorecard:
+    def test_scorecard_from_shared_runs(self, small_runs):
+        from repro.harness import scorecard
+
+        card = scorecard(small_runs)
+        assert len(card.claims) >= 15
+        assert card.pass_count >= len(card.claims) - 3
+        # The analytical Table 3 claims are scale-independent: all pass.
+        for claim in card.claims:
+            if claim.section == "Table 3":
+                assert claim.passed, claim.statement
+
+    def test_scorecard_rendering(self, small_runs):
+        from repro.harness import scorecard
+
+        text = scorecard(small_runs).to_text()
+        assert "scorecard" in text
+        assert "PASS" in text
+        assert "claims hold" in text

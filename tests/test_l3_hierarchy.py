@@ -1,0 +1,133 @@
+"""Tests for the optional third cache level (paper Section 7's L3 CPPC)."""
+
+import random
+
+import pytest
+
+from repro.cppc import CppcProtection
+from repro.errors import ConfigurationError
+from repro.memsim import (
+    CacheGeometry,
+    HierarchyConfig,
+    MemoryHierarchy,
+    PAPER_CONFIG_WITH_L3,
+)
+
+from conftest import TINY_CONFIG
+
+
+def tiny_l3_config():
+    return HierarchyConfig(
+        l1d=TINY_CONFIG.l1d,
+        l2=TINY_CONFIG.l2,
+        l3=CacheGeometry(
+            size_bytes=32 * 1024, ways=4, block_bytes=32, unit_bytes=32,
+            latency_cycles=24,
+        ),
+    )
+
+
+def cppc_factory(level, unit_bits):
+    return CppcProtection(data_bits=unit_bits)
+
+
+class TestConstruction:
+    def test_default_has_no_l3(self):
+        assert MemoryHierarchy().l3 is None
+
+    def test_paper_l3_configuration(self):
+        hierarchy = MemoryHierarchy(PAPER_CONFIG_WITH_L3)
+        assert hierarchy.l3 is not None
+        assert hierarchy.l2.next_level is hierarchy.l3
+        assert hierarchy.l3.next_level is hierarchy.memory
+
+    def test_l3_unit_must_match_l2_block(self):
+        bad = HierarchyConfig(
+            l3=CacheGeometry(
+                size_bytes=4 * 1024 * 1024, ways=8, block_bytes=32,
+                unit_bytes=8, latency_cycles=24,
+            )
+        )
+        with pytest.raises(ConfigurationError):
+            MemoryHierarchy(bad)
+
+
+class TestDataFlow:
+    def test_end_to_end_correctness(self):
+        hierarchy = MemoryHierarchy(tiny_l3_config())
+        rng = random.Random(13)
+        golden = {}
+        for _ in range(800):
+            addr = rng.randrange(0, 1 << 17) & ~7
+            if rng.random() < 0.5:
+                value = rng.getrandbits(64).to_bytes(8, "big")
+                hierarchy.store(addr, value)
+                golden[addr] = value
+            else:
+                assert hierarchy.load(addr, 8).data == golden.get(addr, bytes(8))
+        hierarchy.flush()
+        for addr, value in golden.items():
+            assert hierarchy.memory.peek(addr, 8) == value
+
+    def test_l2_eviction_allocates_in_l3(self):
+        hierarchy = MemoryHierarchy(tiny_l3_config())
+        hierarchy.load(0, 8)
+        assert hierarchy.l3.locate(0) is not None
+
+
+class TestL3Cppc:
+    def test_register_invariants_at_all_levels(self):
+        hierarchy = MemoryHierarchy(
+            tiny_l3_config(), protection_factory=cppc_factory
+        )
+        rng = random.Random(14)
+        for _ in range(800):
+            addr = rng.randrange(0, 1 << 16) & ~7
+            if rng.random() < 0.6:
+                hierarchy.store(addr, rng.getrandbits(64).to_bytes(8, "big"))
+            else:
+                hierarchy.load(addr, 8)
+        for cache in (hierarchy.l1d, hierarchy.l2, hierarchy.l3):
+            protection = cache.protection
+            for i in range(protection.registers.num_pairs):
+                assert protection.registers.pairs[i].dirty_xor == (
+                    protection.dirty_xor_expected(i)
+                ), cache.name
+
+    def test_dirty_l3_fault_recovered(self):
+        hierarchy = MemoryHierarchy(
+            tiny_l3_config(), protection_factory=cppc_factory
+        )
+        rng = random.Random(15)
+        # Generate enough traffic that dirty data reaches L3.
+        for _ in range(2500):
+            addr = rng.randrange(0, 1 << 16) & ~7
+            hierarchy.store(addr, rng.getrandbits(64).to_bytes(8, "big"))
+        dirty = list(hierarchy.l3.iter_dirty_units())
+        assert dirty, "traffic never pushed dirty data to L3"
+        loc, _value = dirty[0]
+        hierarchy.l3.corrupt_data(loc, 1 << 255)
+        addr = hierarchy.l3.address_of(loc)
+        hierarchy.flush()  # the flush path reads, detects and recovers
+        assert hierarchy.l3.protection.recoveries >= 1
+        assert hierarchy.l3.stats.corrected_faults >= 1
+
+    def test_rbw_counters_exist_at_every_level(self):
+        """Every level tracks its read-before-write traffic.  (Whether the
+        per-access rate shrinks down the hierarchy — Section 7's L3
+        expectation — is workload-dependent; `bench_l3_cppc.py` measures
+        it on the realistic profiles.)"""
+        hierarchy = MemoryHierarchy(
+            tiny_l3_config(), protection_factory=cppc_factory
+        )
+        rng = random.Random(16)
+        for _ in range(2000):
+            addr = rng.randrange(0, 1 << 15) & ~7
+            if rng.random() < 0.4:
+                hierarchy.store(addr, rng.getrandbits(64).to_bytes(8, "big"))
+            else:
+                hierarchy.load(addr, 8)
+        for cache in (hierarchy.l1d, hierarchy.l2, hierarchy.l3):
+            assert cache.stats.read_before_writes == (
+                cache.stats.stores_to_dirty_units
+            ), cache.name

@@ -1,0 +1,89 @@
+"""Tests for AddressMapper."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import AlignmentError, ConfigurationError
+from repro.memsim import AddressMapper
+
+addresses = st.integers(min_value=0, max_value=(1 << 40) - 1)
+
+
+@pytest.fixture
+def mapper():
+    # Paper L1: 32B blocks, 512 sets, 8B units.
+    return AddressMapper(block_bytes=32, num_sets=512, unit_bytes=8)
+
+
+class TestConstruction:
+    def test_units_per_block(self, mapper):
+        assert mapper.units_per_block == 4
+
+    def test_rejects_non_pow2(self):
+        with pytest.raises(ConfigurationError):
+            AddressMapper(block_bytes=24, num_sets=512)
+        with pytest.raises(ConfigurationError):
+            AddressMapper(block_bytes=32, num_sets=500)
+        with pytest.raises(ConfigurationError):
+            AddressMapper(block_bytes=32, num_sets=512, unit_bytes=3)
+
+    def test_rejects_unit_bigger_than_block(self):
+        with pytest.raises(ConfigurationError):
+            AddressMapper(block_bytes=32, num_sets=4, unit_bytes=64)
+
+
+class TestFieldDecomposition:
+    @given(addresses)
+    def test_rebuild_roundtrip(self, addr):
+        mapper = AddressMapper(block_bytes=32, num_sets=512, unit_bytes=8)
+        rebuilt = mapper.rebuild_address(mapper.tag(addr), mapper.set_index(addr))
+        assert rebuilt == mapper.block_address(addr)
+
+    @given(addresses)
+    def test_block_offset_in_range(self, addr):
+        mapper = AddressMapper(block_bytes=32, num_sets=512)
+        assert 0 <= mapper.block_offset(addr) < 32
+        assert mapper.block_address(addr) + mapper.block_offset(addr) == addr
+
+    @given(addresses)
+    def test_unit_index_consistent(self, addr):
+        mapper = AddressMapper(block_bytes=32, num_sets=512, unit_bytes=8)
+        assert mapper.unit_index(addr) == mapper.block_offset(addr) // 8
+        assert mapper.byte_in_unit(addr) == addr % 8
+
+    def test_consecutive_blocks_alternate_sets(self, mapper):
+        s0 = mapper.set_index(0)
+        s1 = mapper.set_index(32)
+        assert s1 == (s0 + 1) % 512
+
+
+class TestAccessValidation:
+    def test_accepts_aligned(self, mapper):
+        for size in (1, 2, 4, 8, 32):
+            mapper.check_access(size * 5, size)
+
+    def test_rejects_misaligned(self, mapper):
+        with pytest.raises(AlignmentError):
+            mapper.check_access(4, 8)
+
+    def test_rejects_non_pow2_size(self, mapper):
+        with pytest.raises(AlignmentError):
+            mapper.check_access(0, 3)
+
+    def test_rejects_oversized(self, mapper):
+        with pytest.raises(AlignmentError):
+            mapper.check_access(0, 64)
+
+    def test_rejects_negative_address(self, mapper):
+        with pytest.raises(AlignmentError):
+            mapper.check_access(-8, 8)
+
+    def test_units_touched_word(self, mapper):
+        assert list(mapper.units_touched(8, 8)) == [1]
+
+    def test_units_touched_partial(self, mapper):
+        assert list(mapper.units_touched(17, 1)) == [2]
+
+    def test_units_touched_whole_block(self, mapper):
+        assert list(mapper.units_touched(32, 32)) == [0, 1, 2, 3]

@@ -1,0 +1,70 @@
+"""Tests for the victim/store timing buffers."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.memsim import BoundedQueue, StoreBuffer, VictimBuffer
+
+
+class TestBoundedQueue:
+    def test_capacity_enforced(self):
+        q = BoundedQueue(2)
+        assert q.push("a") and q.push("b")
+        assert not q.push("c")
+        assert q.full_stalls == 1
+
+    def test_fifo_order(self):
+        q = BoundedQueue(3)
+        for item in (1, 2, 3):
+            q.push(item)
+        assert q.pop() == 1
+        assert q.peek() == 2
+
+    def test_occupancy_tracking(self):
+        q = BoundedQueue(4)
+        for item in range(3):
+            q.push(item)
+        q.pop()
+        assert len(q) == 2
+        assert q.peak_occupancy == 3
+        assert q.total_enqueued == 3
+
+    def test_empty_and_full_flags(self):
+        q = BoundedQueue(1)
+        assert q.empty and not q.full
+        q.push(0)
+        assert q.full and not q.empty
+        assert q.peek() == 0
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BoundedQueue(0)
+
+
+class TestStoreBuffer:
+    def test_push_store_records_fields(self):
+        sb = StoreBuffer(capacity=4)
+        assert sb.push_store(addr=0x10, size=8, needs_read_port=True, cycle=7)
+        entry = sb.peek()
+        assert entry.addr == 0x10
+        assert entry.needs_read_port is True
+        assert entry.enqueued_cycle == 7
+
+    def test_default_capacity(self):
+        sb = StoreBuffer()
+        assert sb.capacity == 16
+
+
+class TestVictimBuffer:
+    def test_push_victim(self):
+        vb = VictimBuffer(capacity=2)
+        assert vb.push_victim(block_addr=0x40, dirty_units=3, cycle=11)
+        entry = vb.peek()
+        assert entry.block_addr == 0x40
+        assert entry.dirty_units == 3
+
+    def test_overflow_counts_stall(self):
+        vb = VictimBuffer(capacity=1)
+        vb.push_victim(0, 1, 0)
+        assert not vb.push_victim(32, 1, 1)
+        assert vb.full_stalls == 1

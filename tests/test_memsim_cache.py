@@ -1,0 +1,217 @@
+"""Functional tests for the set-associative cache."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import AlignmentError, ConfigurationError, SimulationError
+from repro.memsim import Cache, MainMemory, UnitLocation
+
+from conftest import fill_random, make_tiny_cache
+
+
+class TestConstruction:
+    def test_shape(self):
+        cache, _ = make_tiny_cache()
+        assert cache.num_sets == 16
+        assert cache.units_per_block == 4
+        assert cache.total_units == 128
+        assert cache.unit_bits == 64
+
+    def test_rejects_bad_size(self):
+        with pytest.raises(ConfigurationError):
+            Cache("bad", 1000, 2, 32, next_level=MainMemory(32))
+
+
+class TestHitMiss:
+    def test_first_access_misses(self):
+        cache, _ = make_tiny_cache()
+        assert not cache.load(0, 8).hit
+        assert cache.stats.read_misses == 1
+
+    def test_second_access_hits(self):
+        cache, _ = make_tiny_cache()
+        cache.load(0, 8)
+        assert cache.load(0, 8).hit
+        assert cache.stats.read_hits == 1
+
+    def test_same_block_different_word_hits(self):
+        cache, _ = make_tiny_cache()
+        cache.load(0, 8)
+        assert cache.load(24, 8).hit
+
+    def test_store_miss_allocates(self):
+        cache, _ = make_tiny_cache()
+        cache.store(0, b"\x11" * 8)
+        assert cache.stats.write_misses == 1
+        assert cache.load(0, 8).hit
+
+    def test_conflict_evicts_lru(self):
+        cache, _ = make_tiny_cache()  # 16 sets * 32B blocks, 2 ways
+        stride = 16 * 32  # same set
+        cache.load(0, 8)
+        cache.load(stride, 8)
+        cache.load(0, 8)  # touch way 0 again
+        cache.load(2 * stride, 8)  # evicts the block at `stride`
+        assert cache.load(0, 8).hit
+        assert not cache.load(stride, 8).hit
+
+
+class TestDataIntegrity:
+    def test_store_load_roundtrip(self):
+        cache, _ = make_tiny_cache()
+        cache.store(40, b"\xde\xad\xbe\xef\x01\x02\x03\x04")
+        assert cache.load(40, 8).data == b"\xde\xad\xbe\xef\x01\x02\x03\x04"
+
+    def test_partial_store_merges(self):
+        cache, _ = make_tiny_cache()
+        cache.store(0, b"\x11" * 8)
+        cache.store(2, b"\xFF\xEE")
+        assert cache.load(0, 8).data == b"\x11\x11\xff\xee\x11\x11\x11\x11"
+
+    def test_byte_store(self):
+        cache, _ = make_tiny_cache()
+        cache.store(5, b"\x7f")
+        assert cache.load(0, 8).data[5] == 0x7F
+
+    def test_writeback_reaches_memory(self):
+        cache, memory = make_tiny_cache()
+        cache.store(0, b"\xAB" * 8)
+        stride = 16 * 32
+        cache.load(stride, 8)
+        cache.load(2 * stride, 8)  # force eviction of addr 0's block
+        assert memory.peek(0, 8) == b"\xAB" * 8
+
+    def test_flush_drains_everything(self):
+        cache, memory = make_tiny_cache()
+        rng = random.Random(0)
+        golden = fill_random(cache, memory, rng, n_stores=50)
+        flushed = cache.flush()
+        assert flushed > 0
+        for addr, value in golden.items():
+            assert memory.peek(addr, 8) == value
+        assert cache.dirty_unit_count() == 0
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(
+        st.tuples(
+            st.booleans(),
+            st.integers(min_value=0, max_value=255),
+            st.sampled_from([1, 2, 4, 8]),
+            st.integers(min_value=0, max_value=(1 << 64) - 1),
+        ),
+        max_size=120,
+    ))
+    def test_cache_matches_flat_memory_model(self, ops):
+        """Property: loads always return exactly what a flat byte-array
+        memory would return, under any interleaving of loads/stores."""
+        cache, _memory = make_tiny_cache()
+        flat = bytearray(4096)
+        for is_load, slot, size, value in ops:
+            addr = (slot * 8) % 2048 + (value % (8 // size)) * size
+            addr -= addr % size
+            if is_load:
+                assert cache.load(addr, size).data == bytes(
+                    flat[addr : addr + size]
+                )
+            else:
+                data = value.to_bytes(8, "big")[:size]
+                cache.store(addr, data)
+                flat[addr : addr + size] = data
+
+
+class TestDirtyTracking:
+    def test_store_sets_unit_dirty(self):
+        cache, _ = make_tiny_cache()
+        cache.store(8, b"\x01" * 8)
+        loc = cache.locate(8)
+        assert cache.peek_unit(loc)[2] is True
+
+    def test_load_does_not_dirty(self):
+        cache, _ = make_tiny_cache()
+        cache.load(8, 8)
+        loc = cache.locate(8)
+        assert cache.peek_unit(loc)[2] is False
+
+    def test_only_touched_unit_dirty(self):
+        cache, _ = make_tiny_cache()
+        cache.store(0, b"\x01" * 8)
+        line = cache.line(cache.locate(0).set_index, cache.locate(0).way)
+        assert line.dirty == [True, False, False, False]
+
+    def test_store_to_dirty_counter(self):
+        cache, _ = make_tiny_cache()
+        cache.store(0, b"\x01" * 8)
+        assert cache.stats.stores_to_dirty_units == 0
+        cache.store(0, b"\x02" * 8)
+        assert cache.stats.stores_to_dirty_units == 1
+
+    def test_writeback_cleans(self):
+        cache, _ = make_tiny_cache()
+        cache.store(0, b"\x01" * 8)
+        stride = 16 * 32
+        cache.load(stride, 8)
+        cache.load(2 * stride, 8)
+        assert cache.stats.writebacks == 1
+        assert cache.dirty_unit_count() == 0
+
+    def test_dirty_fraction_integrates(self):
+        cache, _ = make_tiny_cache()
+        cache.store(0, b"\x01" * 8, cycle=0)
+        cache.load(8, 8, cycle=100)
+        assert 0 < cache.stats.dirty_fraction <= 1
+
+
+class TestLocationApi:
+    def test_locate_and_address_roundtrip(self):
+        cache, _ = make_tiny_cache()
+        cache.store(1064, b"\x05" * 8)
+        loc = cache.locate(1064)
+        assert loc is not None
+        assert cache.address_of(loc) == 1064
+
+    def test_locate_absent(self):
+        cache, _ = make_tiny_cache()
+        assert cache.locate(0) is None
+
+    def test_iter_units_counts(self):
+        cache, _ = make_tiny_cache()
+        cache.load(0, 8)
+        assert len(list(cache.iter_units())) == 4  # one line
+
+    def test_corrupt_requires_valid_line(self):
+        cache, _ = make_tiny_cache()
+        with pytest.raises(SimulationError):
+            cache.corrupt_data(UnitLocation(0, 0, 0), 1)
+
+    def test_corrupt_changes_data_not_check(self):
+        cache, _ = make_tiny_cache()
+        cache.store(0, b"\x01" * 8)
+        loc = cache.locate(0)
+        value, check, _ = cache.peek_unit(loc)
+        cache.corrupt_data(loc, 1)
+        value2, check2, _ = cache.peek_unit(loc)
+        assert value2 == value ^ 1 and check2 == check
+
+    def test_reset_stats_preserves_dirty_inventory(self):
+        cache, _ = make_tiny_cache()
+        cache.store(0, b"\x01" * 8, cycle=10)
+        cache.reset_stats()
+        assert cache.stats.accesses == 0
+        cache.load(8, 8, cycle=1000)
+        # The pre-existing dirty unit must still be integrated.
+        assert cache.stats.dirty_fraction > 0
+
+
+class TestAlignment:
+    def test_misaligned_load_rejected(self):
+        cache, _ = make_tiny_cache()
+        with pytest.raises(AlignmentError):
+            cache.load(4, 8)
+
+    def test_cross_block_access_rejected(self):
+        cache, _ = make_tiny_cache()
+        with pytest.raises(AlignmentError):
+            cache.load(0, 64)

@@ -1,0 +1,89 @@
+"""Tests for replacement policies."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.memsim import (
+    FIFOPolicy,
+    LRUPolicy,
+    RandomPolicy,
+    available_policies,
+    make_policy,
+)
+
+
+class TestLRU:
+    def test_initial_victim_is_last_way(self):
+        lru = LRUPolicy(num_sets=4, ways=4)
+        assert lru.victim(0) == 3
+
+    def test_touch_moves_to_front(self):
+        lru = LRUPolicy(num_sets=1, ways=4)
+        lru.touch(0, 3)
+        assert lru.recency_order(0)[0] == 3
+        assert lru.victim(0) != 3
+
+    def test_sets_are_independent(self):
+        lru = LRUPolicy(num_sets=2, ways=2)
+        lru.touch(0, 1)
+        assert lru.victim(0) == 0
+        assert lru.victim(1) == 1
+
+    @given(st.lists(st.integers(min_value=0, max_value=3), max_size=60))
+    def test_matches_reference_model(self, touches):
+        """LRU state must equal a straightforward reference list."""
+        lru = LRUPolicy(num_sets=1, ways=4)
+        reference = [0, 1, 2, 3]
+        for way in touches:
+            lru.touch(0, way)
+            reference.remove(way)
+            reference.insert(0, way)
+        assert lru.recency_order(0) == reference
+        assert lru.victim(0) == reference[-1]
+
+
+class TestFIFO:
+    def test_fill_order_drives_eviction(self):
+        fifo = FIFOPolicy(num_sets=1, ways=3)
+        fifo.fill(0, 2)
+        fifo.fill(0, 0)
+        fifo.fill(0, 1)
+        assert fifo.victim(0) == 2
+
+    def test_touch_does_not_reorder(self):
+        fifo = FIFOPolicy(num_sets=1, ways=2)
+        fifo.fill(0, 0)
+        fifo.fill(0, 1)
+        fifo.touch(0, 0)
+        assert fifo.victim(0) == 0
+
+
+class TestRandom:
+    def test_deterministic_under_seed(self):
+        a = RandomPolicy(num_sets=1, ways=8, seed=42)
+        b = RandomPolicy(num_sets=1, ways=8, seed=42)
+        assert [a.victim(0) for _ in range(20)] == [b.victim(0) for _ in range(20)]
+
+    def test_victims_in_range(self):
+        p = RandomPolicy(num_sets=1, ways=4, seed=7)
+        assert all(0 <= p.victim(0) < 4 for _ in range(50))
+
+
+class TestFactory:
+    def test_available(self):
+        assert set(available_policies()) == {"lru", "fifo", "random"}
+
+    @pytest.mark.parametrize("name", ["lru", "fifo", "random", "LRU"])
+    def test_make_by_name(self, name):
+        policy = make_policy(name, 4, 2)
+        assert policy.num_sets == 4
+
+    def test_unknown_name(self):
+        with pytest.raises(ConfigurationError):
+            make_policy("plru", 4, 2)
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(ConfigurationError):
+            LRUPolicy(num_sets=0, ways=2)

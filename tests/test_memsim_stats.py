@@ -1,0 +1,71 @@
+"""Tests for CacheStats bookkeeping."""
+
+import pytest
+
+from repro.memsim import CacheStats
+
+
+def make_stats(total_units=100):
+    stats = CacheStats()
+    stats.configure(total_units)
+    return stats
+
+
+class TestDerived:
+    def test_zero_state(self):
+        stats = make_stats()
+        assert stats.accesses == 0
+        assert stats.miss_rate == 0.0
+        assert stats.dirty_fraction == 0.0
+        assert stats.tavg_cycles == 0.0
+
+    def test_miss_rate(self):
+        stats = make_stats()
+        stats.read_hits = 6
+        stats.read_misses = 2
+        stats.write_hits = 1
+        stats.write_misses = 1
+        assert stats.loads == 8 and stats.stores == 2
+        assert stats.misses == 3
+        assert stats.miss_rate == pytest.approx(0.3)
+
+
+class TestDirtyIntegration:
+    def test_constant_occupancy(self):
+        stats = make_stats(total_units=10)
+        stats.dirty_units_changed(+5)
+        stats.advance_to(100.0)
+        assert stats.dirty_fraction == pytest.approx(0.5)
+
+    def test_step_change(self):
+        stats = make_stats(total_units=10)
+        stats.advance_to(50.0)        # 0 dirty for 50 cycles
+        stats.dirty_units_changed(+10)
+        stats.advance_to(100.0)       # 10 dirty for 50 cycles
+        assert stats.dirty_fraction == pytest.approx(0.5)
+
+    def test_out_of_order_timestamps_ignored(self):
+        stats = make_stats()
+        stats.advance_to(100.0)
+        stats.advance_to(50.0)  # must not go backwards
+        assert stats.observed_cycles == 100.0
+
+    def test_tavg_mean(self):
+        stats = make_stats()
+        for interval in (100.0, 200.0, 300.0):
+            stats.record_dirty_interval(interval)
+        assert stats.tavg_cycles == pytest.approx(200.0)
+
+    def test_snapshot_contains_public_metrics(self):
+        stats = make_stats()
+        snapshot = stats.snapshot()
+        for key in ("read_hits", "writebacks", "write_throughs",
+                    "miss_rate", "dirty_fraction", "tavg_cycles"):
+            assert key in snapshot
+
+    def test_histogram_counts_match_interval_count(self):
+        stats = make_stats()
+        for interval in (1, 5, 9, 1000, 4096):
+            stats.record_dirty_interval(interval)
+        assert sum(stats.dirty_interval_histogram.values()) == 5
+        assert stats.dirty_interval_count == 5

@@ -1,0 +1,59 @@
+"""Tests for the Monte-Carlo validation of the analytical MTTF model."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.reliability import (
+    DoubleFaultEstimate,
+    analytical_collision_probability,
+    estimate_double_fault_failure,
+)
+
+
+class TestAnalyticalProbability:
+    def test_paper_configuration(self):
+        assert analytical_collision_probability(8, 1) == pytest.approx(1 / 8)
+        assert analytical_collision_probability(8, 2) == pytest.approx(1 / 16)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            analytical_collision_probability(0, 1)
+
+
+class TestEstimate:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            estimate_double_fault_failure(samples=0)
+
+    def test_deterministic_under_seed(self):
+        a = estimate_double_fault_failure(samples=25, seed=7)
+        b = estimate_double_fault_failure(samples=25, seed=7)
+        assert (a.corrected, a.due, a.miscorrected) == (
+            b.corrected, b.due, b.miscorrected,
+        )
+
+    def test_outcomes_partition_samples(self):
+        est = estimate_double_fault_failure(samples=40, seed=1)
+        assert est.corrected + est.due + est.miscorrected == est.samples
+
+    def test_failure_rate_tracks_analytical_one_pair(self):
+        """The core structural claim behind Table 3: failures happen at
+        rate ~1/(p*w).  The live measurement can only fall *below* the
+        analytical number (the locator repairs spatially-adjacent
+        collisions the algebra conservatively counts as failures)."""
+        est = estimate_double_fault_failure(samples=250, num_pairs=1, seed=2)
+        analytical = analytical_collision_probability(8, 1)
+        assert est.failure_rate <= analytical + 0.05
+        assert est.failure_rate >= analytical / 3
+
+    def test_more_pairs_fail_less(self):
+        one = estimate_double_fault_failure(samples=200, num_pairs=1, seed=3)
+        four = estimate_double_fault_failure(samples=200, num_pairs=4, seed=3)
+        assert four.failure_rate < one.failure_rate
+
+    def test_no_silent_miscorrections_dominate(self):
+        """Aliasing (SDC) is possible but must be a small minority next to
+        detected failures — mirroring Section 4.7's rarity argument."""
+        est = estimate_double_fault_failure(samples=250, num_pairs=1, seed=4)
+        assert est.sdc_rate <= est.failure_rate
+        assert est.sdc_rate < 0.05

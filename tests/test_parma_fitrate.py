@@ -1,0 +1,136 @@
+"""Tests for the distribution-aware MTTF model and FIT estimation."""
+
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.faults import CampaignConfig, FaultCampaign, Outcome, estimate_fit
+from repro.harness import scheme_factory
+from repro.memsim import CacheStats, MemoryHierarchy
+from repro.reliability import (
+    ReliabilityInputs,
+    mttf_cppc_from_histogram,
+    mttf_cppc_years,
+    tail_amplification,
+)
+from repro.workloads import make_workload
+
+from conftest import TINY_CONFIG
+
+INPUTS = ReliabilityInputs(
+    size_bits=32 * 1024 * 8, dirty_fraction=0.16, tavg_cycles=1828
+)
+
+
+def stats_with_intervals(intervals):
+    stats = CacheStats()
+    for t in intervals:
+        stats.record_dirty_interval(t)
+    return stats
+
+
+class TestIntervalHistogram:
+    def test_buckets_are_log2(self):
+        stats = stats_with_intervals([1, 2, 3, 4, 1000])
+        buckets = dict(stats.interval_buckets())
+        # 1 -> bucket 0; 2,3 -> bucket 1; 4 -> bucket 2; 1000 -> bucket 9.
+        assert stats.dirty_interval_histogram == {0: 1, 1: 2, 2: 1, 9: 1}
+        assert 1.5 * 512 in buckets
+
+    def test_tavg_still_exact(self):
+        stats = stats_with_intervals([10, 20, 30])
+        assert stats.tavg_cycles == pytest.approx(20.0)
+
+
+class TestParmaModel:
+    def test_constant_intervals_match_mean_model(self):
+        """For a constant interval the histogram model must agree with the
+        Table 3 mean model (same T everywhere), up to the log-bucket
+        representative error."""
+        t = 1536  # exactly a bucket representative (1.5 * 2^10)
+        stats = stats_with_intervals([t] * 1000)
+        inputs = ReliabilityInputs(
+            size_bits=INPUTS.size_bits, dirty_fraction=0.16, tavg_cycles=t
+        )
+        histogram = mttf_cppc_from_histogram(inputs, stats)
+        mean_based = mttf_cppc_years(inputs)
+        assert histogram == pytest.approx(mean_based, rel=0.05)
+
+    def test_heavy_tail_lowers_mttf(self):
+        """A tail of long intervals must cost more than the mean says."""
+        mixed = [100] * 990 + [1_000_000] * 10
+        stats = stats_with_intervals(mixed)
+        mean_cycles = sum(mixed) / len(mixed)
+        inputs = ReliabilityInputs(
+            size_bits=INPUTS.size_bits, dirty_fraction=0.16,
+            tavg_cycles=mean_cycles,
+        )
+        histogram = mttf_cppc_from_histogram(inputs, stats)
+        mean_based = mttf_cppc_years(inputs)
+        assert histogram < mean_based
+        assert tail_amplification(stats) > 10
+
+    def test_tail_amplification_floor(self):
+        stats = stats_with_intervals([1536] * 100)
+        assert tail_amplification(stats) == pytest.approx(1.0, rel=1e-6)
+
+    def test_empty_stats_rejected(self):
+        with pytest.raises(ConfigurationError):
+            mttf_cppc_from_histogram(INPUTS, CacheStats())
+        with pytest.raises(ConfigurationError):
+            tail_amplification(CacheStats())
+
+    def test_from_real_simulation(self):
+        hierarchy = MemoryHierarchy(TINY_CONFIG)
+        for record in make_workload("gcc").records(4000):
+            if record.value:
+                hierarchy.store(record.addr, record.value)
+            else:
+                hierarchy.load(record.addr, record.size)
+        stats = hierarchy.l1d.stats
+        mttf = mttf_cppc_from_histogram(INPUTS, stats)
+        assert 0 < mttf < math.inf
+        assert tail_amplification(stats) >= 1.0
+
+
+class TestFitEstimate:
+    def _campaign(self, scheme, trials=8):
+        config = CampaignConfig(
+            scheme_factory=scheme_factory(scheme),
+            benchmark="gzip",
+            trials=trials,
+            warmup_references=500,
+            post_fault_references=300,
+            dirty_only=True,
+        )
+        return FaultCampaign(config).run()
+
+    def test_cppc_fit_is_zero(self):
+        result = self._campaign("cppc")
+        fit = estimate_fit(result, resident_bits=40_000)
+        assert fit.total_fit == 0.0
+        assert fit.mttf_years == math.inf
+
+    def test_parity_due_fit_positive(self):
+        result = self._campaign("parity", trials=10)
+        fit = estimate_fit(result, resident_bits=40_000)
+        assert fit.due_fit > 0
+        assert fit.due_mttf_years < math.inf
+
+    def test_fit_scales_with_bits_and_rate(self):
+        result = self._campaign("parity", trials=10)
+        small = estimate_fit(result, resident_bits=1_000)
+        large = estimate_fit(result, resident_bits=10_000)
+        assert large.total_fit == pytest.approx(10 * small.total_fit)
+        hot = estimate_fit(
+            result, resident_bits=1_000, raw_fit_per_bit=0.01
+        )
+        assert hot.total_fit == pytest.approx(10 * small.total_fit)
+
+    def test_validation(self):
+        result = self._campaign("cppc", trials=2)
+        with pytest.raises(ConfigurationError):
+            estimate_fit(result, resident_bits=0)
+        with pytest.raises(ConfigurationError):
+            estimate_fit(result, resident_bits=10, raw_fit_per_bit=0)

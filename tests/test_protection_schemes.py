@@ -1,0 +1,178 @@
+"""Tests for parity, SECDED and 2-D parity protection on the cache."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.coding import InterleavedParity
+from repro.errors import ConfigurationError, UncorrectableError
+from repro.memsim import (
+    Cache,
+    MainMemory,
+    NoProtection,
+    ParityProtection,
+    SecdedProtection,
+    TwoDParityProtection,
+)
+
+from conftest import fill_random, make_tiny_cache
+
+
+def _first_dirty(cache):
+    for loc, _value in cache.iter_dirty_units():
+        return loc
+    raise AssertionError("no dirty unit")
+
+
+def _first_clean(cache):
+    for loc, _value, dirty in cache.iter_units():
+        if not dirty:
+            return loc
+    raise AssertionError("no clean unit")
+
+
+class TestAttachValidation:
+    def test_width_mismatch_rejected(self):
+        protection = ParityProtection(code=InterleavedParity(data_bits=32, ways=8))
+        with pytest.raises(ConfigurationError):
+            make_tiny_cache(protection)
+
+    def test_double_attach_rejected(self):
+        protection = ParityProtection()
+        make_tiny_cache(protection)
+        with pytest.raises(ConfigurationError):
+            make_tiny_cache(protection)
+
+
+class TestNoProtection:
+    def test_faults_invisible(self):
+        cache, _ = make_tiny_cache(NoProtection())
+        cache.store(0, b"\x01" * 8)
+        cache.corrupt_data(cache.locate(0), 1 << 63)
+        result = cache.load(0, 8)
+        assert not result.detected_fault  # silent corruption
+
+
+class TestParityProtection:
+    def test_clean_fault_refetched(self):
+        cache, memory = make_tiny_cache(ParityProtection())
+        memory.poke(0, b"\x55" * 32)
+        cache.load(0, 8)
+        cache.corrupt_data(cache.locate(0), 1 << 10)
+        result = cache.load(0, 8)
+        assert result.detected_fault
+        assert result.data == b"\x55" * 8
+        assert cache.stats.refetch_corrections == 1
+
+    def test_dirty_fault_is_fatal(self):
+        cache, _ = make_tiny_cache(ParityProtection())
+        cache.store(0, b"\x01" * 8)
+        cache.corrupt_data(cache.locate(0), 1)
+        with pytest.raises(UncorrectableError):
+            cache.load(0, 8)
+
+    def test_dirty_fault_fatal_on_eviction_too(self):
+        cache, _ = make_tiny_cache(ParityProtection())
+        cache.store(0, b"\x01" * 8)
+        cache.corrupt_data(cache.locate(0), 1)
+        stride = cache.num_sets * 32
+        cache.load(stride, 8)
+        with pytest.raises(UncorrectableError):
+            cache.load(2 * stride, 8)  # forces write-back of faulty line
+
+    def test_detection_counter(self):
+        cache, _ = make_tiny_cache(ParityProtection())
+        cache.load(0, 8)
+        cache.corrupt_data(cache.locate(0), 1 << 5)
+        cache.load(0, 8)
+        assert cache.stats.detected_faults == 1
+
+    def test_no_rbw_in_common_case(self):
+        cache, _ = make_tiny_cache(ParityProtection())
+        rng = random.Random(3)
+        fill_random(cache, cache.next_level, rng, n_stores=40)
+        assert cache.stats.read_before_writes == 0
+
+
+class TestSecdedProtection:
+    def test_single_bit_in_dirty_corrected(self):
+        cache, _ = make_tiny_cache(SecdedProtection())
+        cache.store(0, b"\x13" * 8)
+        cache.corrupt_data(cache.locate(0), 1 << 17)
+        result = cache.load(0, 8)
+        assert result.detected_fault
+        assert result.data == b"\x13" * 8
+        assert cache.stats.corrected_faults == 1
+
+    def test_double_bit_in_dirty_is_due(self):
+        cache, _ = make_tiny_cache(SecdedProtection())
+        cache.store(0, b"\x13" * 8)
+        cache.corrupt_data(cache.locate(0), 0b11 << 20)
+        with pytest.raises(UncorrectableError):
+            cache.load(0, 8)
+
+    def test_double_bit_in_clean_refetched(self):
+        cache, memory = make_tiny_cache(SecdedProtection())
+        memory.poke(0, b"\x77" * 32)
+        cache.load(0, 8)
+        cache.corrupt_data(cache.locate(0), 0b11)
+        result = cache.load(0, 8)
+        assert result.data == b"\x77" * 8
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(min_value=0, max_value=63))
+    def test_any_single_bit_position_corrected(self, bit):
+        cache, _ = make_tiny_cache(SecdedProtection())
+        cache.store(64, b"\xC3" * 8)
+        cache.corrupt_data(cache.locate(64), 1 << (63 - bit))
+        assert cache.load(64, 8).data == b"\xC3" * 8
+
+    def test_default_interleaving_degree(self):
+        assert SecdedProtection().interleaving_degree == 8
+
+
+class TestTwoDParityProtection:
+    def test_vertical_register_tracks_contents(self):
+        cache, _ = make_tiny_cache(TwoDParityProtection())
+        rng = random.Random(5)
+        fill_random(cache, cache.next_level, rng, n_stores=50)
+        rows = [v for _loc, v, _d in cache.iter_units()]
+        assert cache.protection.vertical_register.matches(rows)
+
+    def test_register_consistent_after_evictions_and_flush(self):
+        cache, _ = make_tiny_cache(TwoDParityProtection())
+        rng = random.Random(6)
+        fill_random(cache, cache.next_level, rng, n_stores=200, addr_space=8192)
+        cache.flush()
+        assert cache.protection.vertical_register.matches([])
+
+    def test_dirty_fault_reconstructed(self):
+        cache, _ = make_tiny_cache(TwoDParityProtection())
+        rng = random.Random(7)
+        golden = fill_random(cache, cache.next_level, rng, n_stores=30)
+        loc = _first_dirty(cache)
+        cache.corrupt_data(loc, (1 << 63) | (1 << 5))
+        addr = cache.address_of(loc)
+        result = cache.load(addr, 8)
+        assert result.detected_fault
+        if addr in golden:
+            assert result.data == golden[addr]
+
+    def test_rbw_counted_on_every_store(self):
+        cache, _ = make_tiny_cache(TwoDParityProtection())
+        cache.store(0, b"\x01" * 8)
+        cache.store(8, b"\x02" * 8)
+        # Each store hits the read port, plus one line read per miss.
+        assert cache.stats.read_before_writes >= 2
+
+    def test_two_concurrent_dirty_faults_are_due(self):
+        """One vertical row cannot separate two faulty rows."""
+        cache, _ = make_tiny_cache(TwoDParityProtection())
+        cache.store(0, b"\x01" * 8)
+        cache.store(8, b"\x02" * 8)
+        cache.corrupt_data(cache.locate(0), 1)
+        cache.corrupt_data(cache.locate(8), 1)
+        with pytest.raises(UncorrectableError):
+            cache.load(0, 8)

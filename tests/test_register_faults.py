@@ -1,0 +1,86 @@
+"""Faults in R1/R2 themselves (paper Section 4.9)."""
+
+import pytest
+
+from repro.errors import UncorrectableError
+
+from conftest import make_cppc_cache
+
+
+class TestRegisterParity:
+    def test_fresh_registers_intact(self):
+        cache, _ = make_cppc_cache()
+        pair = cache.protection.registers.pairs[0]
+        assert pair.r1_intact() and pair.r2_intact()
+
+    def test_parity_maintained_through_traffic(self):
+        cache, _ = make_cppc_cache()
+        for i in range(50):
+            cache.store(i * 8 % 1024, bytes([i % 256]) * 8)
+        pair = cache.protection.registers.pairs[0]
+        assert pair.r1_intact() and pair.r2_intact()
+
+    def test_corruption_detected(self):
+        cache, _ = make_cppc_cache()
+        cache.store(0, b"\x01" * 8)
+        pair = cache.protection.registers.pairs[0]
+        pair.corrupt_r1(1 << 5)
+        assert not pair.r1_intact()
+        assert pair.r2_intact()
+
+    def test_even_flips_escape_single_parity_bit(self):
+        """A single parity bit cannot see an even number of flips — the
+        documented limit of Section 4.9's cheapest option."""
+        cache, _ = make_cppc_cache()
+        pair = cache.protection.registers.pairs[0]
+        pair.corrupt_r1(0b11)
+        assert pair.r1_intact()  # undetected, by construction
+
+
+class TestRegisterRepair:
+    def test_repair_rebuilds_from_cache(self):
+        cache, _ = make_cppc_cache()
+        cache.store(0, b"\x3F" * 8)
+        cache.store(64, b"\x4E" * 8)
+        protection = cache.protection
+        pair = protection.registers.pairs[0]
+        good_r1 = pair.r1
+        pair.corrupt_r1(1 << 9)
+        protection.repair_register(0, "r1")
+        assert pair.r1 == good_r1
+        assert pair.r1_intact()
+        assert protection.register_repairs == 1
+
+    def test_recovery_heals_register_then_corrects_data(self):
+        """A register fault discovered during recovery is repaired first;
+        the data fault is then corrected normally... unless the data
+        fault is in the same domain, which is the Section 4.9 caveat."""
+        cache, _ = make_cppc_cache(num_pairs=2)
+        # Dirty words in both domains: classes 0-3 (pair 0), 4-7 (pair 1).
+        cache.store(0, b"\x11" * 8)        # class 0 -> pair 0
+        cache.store(4 * 8, b"\x22" * 8)    # class 4 -> pair 1
+        protection = cache.protection
+        # Break pair 1's R1 and a data word in pair 0's domain.
+        protection.registers.pairs[1].corrupt_r1(1 << 3)
+        cache.corrupt_data(cache.locate(0), 1 << 63)
+        assert cache.load(0, 8).data == b"\x11" * 8
+        assert protection.register_repairs == 1
+        assert protection.registers.pairs[1].r1_intact()
+
+    def test_register_and_same_domain_data_fault_is_due(self):
+        """Section 4.9: the register rebuild needs fault-free dirty words
+        in its domain."""
+        cache, _ = make_cppc_cache(num_pairs=1)
+        cache.store(0, b"\x11" * 8)
+        protection = cache.protection
+        protection.registers.pairs[0].corrupt_r1(1 << 3)
+        cache.corrupt_data(cache.locate(0), 1 << 63)
+        with pytest.raises(UncorrectableError):
+            cache.load(0, 8)
+
+    def test_repair_validates_register_name(self):
+        cache, _ = make_cppc_cache()
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            cache.protection.repair_register(0, "r3")

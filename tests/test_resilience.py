@@ -1,0 +1,59 @@
+"""Tests for the empirical resilience-matrix experiment."""
+
+import pytest
+
+from repro.faults import Outcome
+from repro.harness import resilience_matrix, scheme_factory
+
+
+@pytest.fixture(scope="module")
+def matrix():
+    return resilience_matrix(
+        trials=8, warmup_references=600, post_fault_references=400
+    )
+
+
+class TestSchemeFactory:
+    @pytest.mark.parametrize(
+        "name,expected",
+        [("cppc", "cppc"), ("parity", "parity"),
+         ("secded", "secded"), ("none", "none")],
+    )
+    def test_builds_named_schemes(self, name, expected):
+        protection = scheme_factory(name)("L1D", 64)
+        assert protection.name == expected
+
+
+class TestMatrix:
+    def test_all_cells_present(self, matrix):
+        assert len(matrix.rates) == 8  # 4 schemes x 2 fault kinds
+
+    def test_rates_are_distributions(self, matrix):
+        for rates in matrix.rates.values():
+            assert sum(rates.values()) == pytest.approx(1.0)
+
+    def test_cppc_never_fails(self, matrix):
+        for fault in ("temporal", "spatial4x4"):
+            assert matrix.rate("cppc", fault, Outcome.SDC) == 0.0
+            assert matrix.rate("cppc", fault, Outcome.DUE) == 0.0
+
+    def test_unprotected_leaks_sdc(self, matrix):
+        assert matrix.rate("none", "temporal", Outcome.SDC) > 0
+
+    def test_parity_never_leaks_but_dies(self, matrix):
+        assert matrix.rate("parity", "temporal", Outcome.SDC) == 0.0
+        assert matrix.rate("parity", "temporal", Outcome.DUE) > 0
+
+    def test_fit_ordering(self, matrix):
+        """CPPC's empirical FIT must be the lowest of all schemes."""
+        cppc = matrix.fits[("cppc", "temporal")].total_fit
+        parity = matrix.fits[("parity", "temporal")].total_fit
+        none = matrix.fits[("none", "temporal")].total_fit
+        assert cppc <= parity
+        assert cppc <= none
+        assert parity > 0 and none > 0
+
+    def test_to_text_renders(self, matrix):
+        text = matrix.to_text()
+        assert "resilience matrix" in text
+        assert "cppc" in text and "spatial4x4" in text

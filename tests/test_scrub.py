@@ -1,0 +1,102 @@
+"""Tests for the early write-back scrubber (paper related work [2, 15])."""
+
+import random
+
+import pytest
+
+from repro.cppc import CppcProtection
+from repro.errors import ConfigurationError, UncorrectableError
+from repro.memsim import EarlyWritebackScrubber, ParityProtection
+
+from conftest import make_cppc_cache, make_tiny_cache
+
+
+class TestScrubberMechanics:
+    def test_validation(self):
+        cache, _ = make_tiny_cache()
+        with pytest.raises(ConfigurationError):
+            EarlyWritebackScrubber(cache, interval_accesses=0)
+        with pytest.raises(ConfigurationError):
+            EarlyWritebackScrubber(cache, lines_per_pass=0)
+
+    def test_pass_cleans_dirty_lines(self):
+        cache, memory = make_tiny_cache()
+        cache.store(0, b"\x01" * 8)
+        cache.store(512, b"\x02" * 8)
+        scrubber = EarlyWritebackScrubber(cache, lines_per_pass=8)
+        cleaned = scrubber.scrub_pass()
+        assert cleaned == 2
+        assert cache.dirty_unit_count() == 0
+        assert memory.peek(0, 8) == b"\x01" * 8
+
+    def test_lines_stay_resident(self):
+        cache, _ = make_tiny_cache()
+        cache.store(0, b"\x01" * 8)
+        EarlyWritebackScrubber(cache).scrub_pass()
+        assert cache.load(0, 8).hit
+
+    def test_lines_per_pass_bounds_work(self):
+        cache, _ = make_tiny_cache()
+        for i in range(6):
+            cache.store(i * 64, bytes([i]) * 8)  # distinct sets, no evictions
+        scrubber = EarlyWritebackScrubber(cache, lines_per_pass=2)
+        assert scrubber.scrub_pass() == 2
+        assert cache.dirty_unit_count() == 4
+
+    def test_tick_fires_on_interval(self):
+        cache, _ = make_tiny_cache()
+        cache.store(0, b"\x01" * 8)
+        scrubber = EarlyWritebackScrubber(cache, interval_accesses=10)
+        assert scrubber.tick(9) == 0
+        assert scrubber.tick(1) == 1
+        assert scrubber.stats.passes == 1
+
+    def test_drain(self):
+        cache, _ = make_tiny_cache()
+        for i in range(5):
+            cache.store(i * 64, bytes([i]) * 8)
+        scrubber = EarlyWritebackScrubber(cache)
+        assert scrubber.drain() == 5
+        assert cache.dirty_unit_count() == 0
+
+
+class TestScrubbingAndReliability:
+    def test_scrubbing_shrinks_parity_vulnerability_window(self):
+        """After a scrub, a fault in previously-dirty data is no longer
+        fatal to a parity cache — the early-write-back schemes' whole
+        point."""
+        cache, _ = make_tiny_cache(ParityProtection())
+        cache.store(0, b"\x5C" * 8)
+        EarlyWritebackScrubber(cache).scrub_pass()
+        cache.corrupt_data(cache.locate(0), 1 << 63)
+        result = cache.load(0, 8)  # clean now: refetched, not fatal
+        assert result.data == b"\x5C" * 8
+
+    def test_unscrubbed_equivalent_is_fatal(self):
+        cache, _ = make_tiny_cache(ParityProtection())
+        cache.store(0, b"\x5C" * 8)
+        cache.corrupt_data(cache.locate(0), 1 << 63)
+        with pytest.raises(UncorrectableError):
+            cache.load(0, 8)
+
+    def test_cppc_invariant_preserved_by_scrubbing(self):
+        cache, _ = make_cppc_cache()
+        rng = random.Random(3)
+        for _ in range(60):
+            cache.store(rng.randrange(512) * 8, rng.getrandbits(64).to_bytes(8, "big"))
+        scrubber = EarlyWritebackScrubber(cache, lines_per_pass=4)
+        scrubber.scrub_pass()
+        protection: CppcProtection = cache.protection
+        for i in range(protection.registers.num_pairs):
+            assert protection.registers.pairs[i].dirty_xor == (
+                protection.dirty_xor_expected(i)
+            )
+
+    def test_scrubbing_costs_writebacks(self):
+        """The energy downside the paper holds against these schemes."""
+        cache, _ = make_tiny_cache()
+        for i in range(8):
+            cache.store(i * 64, bytes([i]) * 8)
+        before = cache.stats.writebacks
+        EarlyWritebackScrubber(cache).drain()
+        assert cache.stats.writebacks - before == 8

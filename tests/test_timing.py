@@ -1,0 +1,127 @@
+"""Tests for the CPI / port-contention timing model."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.timing import (
+    AccessEvent,
+    TimingConfig,
+    collect_events,
+    time_events,
+    timing_policy,
+)
+from repro.workloads import make_workload
+
+from conftest import TINY_CONFIG
+from repro.memsim import MemoryHierarchy
+
+
+def load(instructions=4, miss=0):
+    return AccessEvent(True, instructions, False, miss)
+
+
+def store(instructions=4, dirty=False, miss=0):
+    return AccessEvent(False, instructions, dirty, miss)
+
+
+class TestPolicies:
+    def test_demands(self):
+        assert timing_policy("parity").store_demand(True) == 0
+        assert timing_policy("secded").miss_demand(4) == 0
+        assert timing_policy("cppc").store_demand(True) == 1
+        assert timing_policy("cppc").store_demand(False) == 0
+        assert timing_policy("2d-parity").store_demand(False) == 1
+        assert timing_policy("2d-parity").miss_demand(4) == 2  # wide row read + turnaround
+
+    def test_unknown_policy(self):
+        with pytest.raises(ConfigurationError):
+            timing_policy("ecc++")
+
+
+class TestConfig:
+    def test_defaults_match_table1(self):
+        cfg = TimingConfig()
+        assert cfg.issue_width == 4
+        assert cfg.l1_hit_latency == 2
+        assert cfg.l2_hit_latency == 8
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            TimingConfig(issue_width=0)
+        with pytest.raises(ConfigurationError):
+            TimingConfig(miss_overlap=1.0)
+        with pytest.raises(ConfigurationError):
+            TimingConfig(store_buffer_capacity=0)
+
+
+class TestTimeEvents:
+    def test_issue_cycles_only(self):
+        result = time_events([load(8), load(8)], timing_policy("parity"))
+        assert result.cycles == pytest.approx(result.issue_cycles)
+        assert result.instructions == 16
+        assert result.cpi == pytest.approx(result.cycles / 16)
+
+    def test_miss_penalty_charged(self):
+        cfg = TimingConfig(miss_overlap=0.0)
+        hit = time_events([load(4)], timing_policy("parity"), cfg)
+        miss = time_events([load(4, miss=2)], timing_policy("parity"), cfg)
+        assert miss.cycles - hit.cycles == pytest.approx(cfg.memory_latency)
+
+    def test_l2_hit_cheaper_than_memory(self):
+        cfg = TimingConfig(miss_overlap=0.0)
+        l2 = time_events([load(4, miss=1)], timing_policy("parity"), cfg)
+        mem = time_events([load(4, miss=2)], timing_policy("parity"), cfg)
+        assert l2.cycles < mem.cycles
+
+    def test_backpressure_from_dirty_store_burst(self):
+        """Back-to-back dirty stores with no issue slack must eventually
+        stall a CPPC but never a parity cache."""
+        cfg = TimingConfig(store_buffer_capacity=2)
+        events = [store(1, dirty=True) for _ in range(40)]
+        parity = time_events(events, timing_policy("parity"), cfg)
+        cppc = time_events(events, timing_policy("cppc"), cfg)
+        assert parity.port_stall_cycles == 0
+        assert cppc.port_stall_cycles > 0
+        assert cppc.cycles > parity.cycles
+
+    def test_idle_cycles_drain_backlog(self):
+        """With big gaps between stores the RBW work hides completely."""
+        cfg = TimingConfig(store_buffer_capacity=2)
+        events = [store(40, dirty=True) for _ in range(40)]
+        cppc = time_events(events, timing_policy("cppc"), cfg)
+        assert cppc.port_stall_cycles == 0
+
+    def test_scheme_ordering_on_store_heavy_stream(self):
+        events = []
+        for i in range(200):
+            events.append(store(2, dirty=(i % 2 == 0), miss=1 if i % 10 == 0 else 0))
+        cfg = TimingConfig(store_buffer_capacity=2)
+        cpis = {
+            s: time_events(events, timing_policy(s), cfg).cpi
+            for s in ("parity", "cppc", "2d-parity")
+        }
+        assert cpis["parity"] <= cpis["cppc"] <= cpis["2d-parity"]
+
+
+class TestCollectEvents:
+    def test_events_match_trace_shape(self):
+        hierarchy = MemoryHierarchy(TINY_CONFIG)
+        records = list(make_workload("gzip").records(300))
+        events = collect_events(records, hierarchy)
+        assert len(events) == 300
+        loads = sum(1 for e in events if e.is_load)
+        assert loads == sum(1 for r in records if not r.value)
+
+    def test_miss_levels_consistent_with_stats(self):
+        hierarchy = MemoryHierarchy(TINY_CONFIG)
+        events = collect_events(make_workload("gzip").records(300), hierarchy)
+        l1_misses = sum(1 for e in events if e.miss_level > 0)
+        assert l1_misses == hierarchy.l1d.stats.misses
+        l2_misses = sum(1 for e in events if e.miss_level == 2)
+        assert l2_misses == hierarchy.l2.stats.misses
+
+    def test_was_dirty_only_on_stores(self):
+        hierarchy = MemoryHierarchy(TINY_CONFIG)
+        events = collect_events(make_workload("eon").records(400), hierarchy)
+        assert all(not (e.is_load and e.was_dirty) for e in events)
+        assert any(e.was_dirty for e in events)

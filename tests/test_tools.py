@@ -1,0 +1,125 @@
+"""Tests for the command-line tools."""
+
+import io
+
+import pytest
+
+from repro.tools import gen_trace, run_campaign, run_experiment
+from repro.workloads import load_trace
+
+
+class TestGenTrace:
+    def test_writes_requested_records(self, tmp_path):
+        out = tmp_path / "t.trace"
+        rc = gen_trace.main(["gzip", "-n", "50", "-o", str(out)])
+        assert rc == 0
+        with open(out) as fh:
+            records = list(load_trace(fh))
+        assert len(records) == 50
+
+    def test_deterministic_per_seed(self, tmp_path):
+        a, b = tmp_path / "a", tmp_path / "b"
+        gen_trace.main(["gcc", "-n", "30", "--seed", "4", "-o", str(a)])
+        gen_trace.main(["gcc", "-n", "30", "--seed", "4", "-o", str(b)])
+        assert a.read_text() == b.read_text()
+
+    def test_rejects_unknown_benchmark(self):
+        with pytest.raises(SystemExit):
+            gen_trace.main(["linpack"])
+
+
+class TestRunExperiment:
+    def test_fig11_prints_table(self, capsys, tmp_path):
+        rc = run_experiment.main([
+            "fig11", "-n", "1200", "--benchmarks", "gzip", "eon",
+            "-o", str(tmp_path),
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Figure 11" in out
+        assert (tmp_path / "fig11.txt").exists()
+
+    def test_table3_runs(self, capsys):
+        rc = run_experiment.main([
+            "table3", "-n", "800", "--benchmarks", "gzip",
+        ])
+        assert rc == 0
+        assert "Table 3" in capsys.readouterr().out
+
+    def test_all_produces_every_table(self, capsys, tmp_path):
+        rc = run_experiment.main([
+            "all", "-n", "800", "--benchmarks", "gzip", "-o", str(tmp_path),
+        ])
+        assert rc == 0
+        names = {p.name for p in tmp_path.iterdir()}
+        assert names == {
+            "fig10.txt", "fig11.txt", "fig12.txt", "table2.txt", "table3.txt",
+        }
+
+
+class TestRunCampaign:
+    def test_cppc_campaign_prints_outcomes(self, capsys):
+        rc = run_campaign.main([
+            "cppc", "--trials", "4", "--warmup", "400", "--post", "300",
+            "--dirty-only",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "corrected" in out and "sdc" in out
+
+    def test_spatial_shape_argument(self, capsys):
+        rc = run_campaign.main([
+            "secded", "--trials", "3", "--fault", "spatial",
+            "--shape", "4", "4", "--warmup", "400", "--post", "200",
+        ])
+        assert rc == 0
+        assert "secded" in capsys.readouterr().out
+
+
+class TestRunSensitivity:
+    def test_interleaving_sweep(self, capsys):
+        from repro.tools import run_sensitivity
+
+        rc = run_sensitivity.main(["interleaving"])
+        assert rc == 0
+        assert "interleav" in capsys.readouterr().out.lower()
+
+    def test_l1_size_sweep(self, capsys):
+        from repro.tools import run_sensitivity
+
+        rc = run_sensitivity.main(
+            ["l1-size", "-n", "1500", "--benchmark", "gzip"]
+        )
+        assert rc == 0
+        assert "L1 capacity" in capsys.readouterr().out
+
+
+class TestGenDocs:
+    def test_generates_markdown_for_every_subpackage(self, tmp_path):
+        from repro.tools import gen_docs
+
+        out = tmp_path / "API.md"
+        rc = gen_docs.main(["-o", str(out)])
+        assert rc == 0
+        text = out.read_text()
+        for name in gen_docs.SUBPACKAGES:
+            assert f"## `{name}`" in text
+
+    def test_documents_key_classes(self):
+        from repro.tools import gen_docs
+
+        text = gen_docs.generate()
+        for symbol in ("CppcProtection", "MemoryHierarchy", "FaultLocator",
+                       "RegisterPair", "CacheEnergyModel"):
+            assert symbol in text
+
+
+class TestRunScorecard:
+    def test_scorecard_cli(self, capsys, monkeypatch):
+        from repro.harness import scorecard as score_fn
+        from repro.tools import run_scorecard
+
+        rc = run_scorecard.main(["-n", "4000"])
+        out = capsys.readouterr().out
+        assert "scorecard" in out
+        assert rc in (0, 1)  # small scale may miss a band or two

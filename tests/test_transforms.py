@@ -1,0 +1,118 @@
+"""Tests for trace transformations."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.memsim import AccessType
+from repro.workloads import (
+    TraceRecord,
+    drop,
+    interleave,
+    make_workload,
+    materialize,
+    multiprogrammed_mix,
+    offset_addresses,
+    scale_gaps,
+    take,
+)
+
+
+def sample_trace(n=10, base=0):
+    return [
+        TraceRecord(AccessType.LOAD, base + i * 8, 8, i % 3) for i in range(n)
+    ]
+
+
+class TestSlicing:
+    def test_take(self):
+        assert len(list(take(sample_trace(10), 4))) == 4
+
+    def test_take_more_than_available(self):
+        assert len(list(take(sample_trace(3), 10))) == 3
+
+    def test_drop(self):
+        remaining = list(drop(sample_trace(10), 7))
+        assert len(remaining) == 3
+        assert remaining[0].addr == 7 * 8
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigurationError):
+            list(take(sample_trace(), -1))
+        with pytest.raises(ConfigurationError):
+            list(drop(sample_trace(), -1))
+
+
+class TestOffset:
+    def test_addresses_shift(self):
+        shifted = list(offset_addresses(sample_trace(3), 0x1000))
+        assert [r.addr for r in shifted] == [0x1000, 0x1008, 0x1010]
+
+    def test_other_fields_preserved(self):
+        original = sample_trace(3)
+        shifted = list(offset_addresses(original, 8))
+        assert [r.gap for r in shifted] == [r.gap for r in original]
+
+    def test_misaligned_offset_rejected(self):
+        with pytest.raises(ConfigurationError):
+            list(offset_addresses(sample_trace(), 3))
+
+
+class TestScaleGaps:
+    def test_doubling(self):
+        scaled = list(scale_gaps(sample_trace(3), 2.0))
+        assert [r.gap for r in scaled] == [0, 2, 4]
+
+    def test_zero_removes_gaps(self):
+        assert all(r.gap == 0 for r in scale_gaps(sample_trace(6), 0.0))
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigurationError):
+            list(scale_gaps(sample_trace(), -1.0))
+
+
+class TestInterleave:
+    def test_round_robin_order(self):
+        a = sample_trace(3, base=0)
+        b = sample_trace(3, base=0x1000)
+        merged = list(interleave(a, b))
+        assert [r.addr for r in merged[:4]] == [0, 0x1000, 8, 0x1008]
+
+    def test_stops_at_shortest(self):
+        merged = list(interleave(sample_trace(5), sample_trace(2, base=64)))
+        assert len(merged) == 4  # 2 full rounds
+
+    def test_empty_args_rejected(self):
+        with pytest.raises(ConfigurationError):
+            list(interleave())
+
+
+class TestMultiprogrammedMix:
+    def test_no_aliasing(self):
+        mix = list(
+            multiprogrammed_mix(
+                [sample_trace(5), sample_trace(5)], spacing_bytes=1 << 20
+            )
+        )
+        first = {r.addr for i, r in enumerate(mix) if i % 2 == 0}
+        second = {r.addr for i, r in enumerate(mix) if i % 2 == 1}
+        assert not first & second
+
+    def test_real_workload_mix_replays(self, tiny_hierarchy):
+        mix = multiprogrammed_mix(
+            [
+                make_workload("gzip").records(200),
+                make_workload("eon").records(200),
+            ]
+        )
+        count = 0
+        for record in mix:
+            if record.op is AccessType.STORE:
+                tiny_hierarchy.store(record.addr, record.value)
+            else:
+                tiny_hierarchy.load(record.addr, record.size)
+            count += 1
+        assert count == 400
+
+    def test_misaligned_spacing_rejected(self):
+        with pytest.raises(ConfigurationError):
+            list(multiprogrammed_mix([sample_trace(2)], spacing_bytes=10))

@@ -1,0 +1,46 @@
+"""Tests for unit conversions (they anchor the reliability math)."""
+
+import pytest
+
+from repro.util import (
+    FIT_HOURS,
+    HOURS_PER_YEAR,
+    KB,
+    MB,
+    cycles_to_hours,
+    fit_per_bit_to_rate_per_hour,
+    hours_to_years,
+    years_to_hours,
+)
+
+
+class TestConstants:
+    def test_sizes(self):
+        assert KB == 1024
+        assert MB == 1024 * 1024
+
+    def test_fit_definition(self):
+        assert FIT_HOURS == 1e9
+
+    def test_julian_year(self):
+        assert HOURS_PER_YEAR == pytest.approx(8766.0)
+
+
+class TestConversions:
+    def test_fit_to_rate(self):
+        # 1 FIT == 1e-9 failures/hour.
+        assert fit_per_bit_to_rate_per_hour(1.0) == pytest.approx(1e-9)
+        assert fit_per_bit_to_rate_per_hour(0.001) == pytest.approx(1e-12)
+
+    def test_cycles_to_hours(self):
+        # 3 GHz: 1.08e13 cycles per hour.
+        one_hour_cycles = 3.0e9 * 3600
+        assert cycles_to_hours(one_hour_cycles, 3.0e9) == pytest.approx(1.0)
+
+    def test_years_hours_roundtrip(self):
+        assert hours_to_years(years_to_hours(123.0)) == pytest.approx(123.0)
+
+    def test_paper_tavg_conversion(self):
+        """1828 cycles at 3 GHz is ~0.61 microseconds."""
+        hours = cycles_to_hours(1828, 3.0e9)
+        assert hours * 3600 == pytest.approx(6.09e-7, rel=1e-3)

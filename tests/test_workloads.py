@@ -1,0 +1,215 @@
+"""Tests for trace format, generators and the SPEC-like profiles."""
+
+import io
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError, TraceFormatError
+from repro.memsim import AccessType
+from repro.workloads import (
+    BENCHMARKS,
+    SyntheticWorkload,
+    TraceRecord,
+    WorkloadProfile,
+    benchmark_names,
+    get_profile,
+    load_trace,
+    make_workload,
+    materialize,
+    save_trace,
+    trace_stats,
+)
+
+
+class TestTraceRecord:
+    def test_store_needs_matching_value(self):
+        with pytest.raises(TraceFormatError):
+            TraceRecord(AccessType.STORE, 0, 8, 0, b"ab")
+
+    def test_load_carries_no_value(self):
+        r = TraceRecord(AccessType.LOAD, 8, 4, 2)
+        assert r.instructions == 3
+
+    def test_negative_fields_rejected(self):
+        with pytest.raises(TraceFormatError):
+            TraceRecord(AccessType.LOAD, -1, 8, 0)
+        with pytest.raises(TraceFormatError):
+            TraceRecord(AccessType.LOAD, 0, 0, 0)
+        with pytest.raises(TraceFormatError):
+            TraceRecord(AccessType.LOAD, 0, 8, -2)
+
+
+class TestTraceSerialization:
+    def test_roundtrip(self):
+        records = [
+            TraceRecord(AccessType.LOAD, 0x1000, 8, 3),
+            TraceRecord(AccessType.STORE, 0x2000, 4, 0, b"\x01\x02\x03\x04"),
+            TraceRecord(AccessType.STORE, 0x3008, 1, 7, b"\xff"),
+        ]
+        buffer = io.StringIO()
+        assert save_trace(records, buffer) == 3
+        buffer.seek(0)
+        assert list(load_trace(buffer)) == records
+
+    def test_comments_and_blank_lines_skipped(self):
+        text = "# a comment\n\nL 10 8 0\n"
+        records = list(load_trace(io.StringIO(text)))
+        assert len(records) == 1
+        assert records[0].addr == 0x10
+
+    def test_bad_op_rejected(self):
+        with pytest.raises(TraceFormatError):
+            list(load_trace(io.StringIO("X 10 8 0\n")))
+
+    def test_truncated_line_rejected(self):
+        with pytest.raises(TraceFormatError):
+            list(load_trace(io.StringIO("L 10\n")))
+
+    def test_trace_stats(self):
+        records = [
+            TraceRecord(AccessType.LOAD, 0, 8, 3),
+            TraceRecord(AccessType.STORE, 8, 8, 1, b"\x00" * 8),
+        ]
+        stats = trace_stats(records)
+        assert stats == {
+            "loads": 1, "stores": 1, "references": 2, "instructions": 6,
+        }
+
+
+class TestProfileValidation:
+    def test_hot_must_fit(self):
+        with pytest.raises(ConfigurationError):
+            WorkloadProfile(name="x", working_set_bytes=1024, hot_bytes=2048)
+
+    def test_probability_bounds(self):
+        with pytest.raises(ConfigurationError):
+            WorkloadProfile(
+                name="x", working_set_bytes=1024, hot_bytes=512, p_hot=1.5
+            )
+
+    def test_store_region_must_fit(self):
+        with pytest.raises(ConfigurationError):
+            WorkloadProfile(
+                name="x", working_set_bytes=1024, hot_bytes=512,
+                store_region_bytes=4096,
+            )
+
+
+class TestGenerator:
+    def test_deterministic_under_seed(self):
+        w1 = make_workload("gzip", seed=5)
+        w2 = make_workload("gzip", seed=5)
+        assert materialize(w1.records(200)) == materialize(w2.records(200))
+
+    def test_different_seeds_differ(self):
+        a = materialize(make_workload("gzip", seed=1).records(200))
+        b = materialize(make_workload("gzip", seed=2).records(200))
+        assert a != b
+
+    def test_record_count(self):
+        assert len(materialize(make_workload("gcc").records(321))) == 321
+
+    def test_addresses_inside_working_set(self):
+        profile = get_profile("gzip")
+        for r in make_workload("gzip").records(500):
+            assert profile.base_address <= r.addr < (
+                profile.base_address + profile.working_set_bytes
+            )
+
+    def test_accesses_naturally_aligned(self):
+        for r in make_workload("vortex").records(500):
+            assert r.addr % r.size == 0
+
+    def test_store_fraction_approximate(self):
+        profile = get_profile("gcc")
+        records = materialize(make_workload("gcc").records(4000))
+        stores = sum(1 for r in records if r.op is AccessType.STORE)
+        assert abs(stores / 4000 - profile.store_fraction) < 0.05
+
+    def test_mean_gap_approximate(self):
+        records = materialize(make_workload("gzip").records(4000))
+        mean = sum(r.gap for r in records) / len(records)
+        assert abs(mean - get_profile("gzip").mean_gap) < 0.5
+
+
+class TestSpecProfiles:
+    def test_fifteen_benchmarks(self):
+        assert len(BENCHMARKS) == 15
+        assert benchmark_names() == BENCHMARKS
+
+    def test_all_profiles_instantiable(self):
+        for name in BENCHMARKS:
+            workload = make_workload(name)
+            assert materialize(workload.records(10))
+
+    def test_unknown_benchmark(self):
+        with pytest.raises(ConfigurationError):
+            get_profile("linpack")
+
+    def test_address_spaces_disjoint(self):
+        spans = []
+        for name in BENCHMARKS:
+            p = get_profile(name)
+            spans.append((p.base_address, p.base_address + p.working_set_bytes))
+        spans.sort()
+        for (a_start, a_end), (b_start, _b_end) in zip(spans, spans[1:]):
+            assert a_end <= b_start
+
+    def test_mcf_is_the_big_one(self):
+        mcf = get_profile("mcf")
+        assert all(
+            mcf.working_set_bytes >= get_profile(n).working_set_bytes
+            for n in BENCHMARKS
+        )
+
+
+class TestLocalityKnobs:
+    def test_higher_reuse_lowers_miss_rate(self):
+        """The generator's p_reuse knob must actually control locality."""
+        from repro.memsim import MemoryHierarchy
+        from repro.timing import collect_events
+        from conftest import TINY_CONFIG
+        import dataclasses
+
+        base = get_profile("gzip")
+        rates = {}
+        for p_reuse in (0.3, 0.95):
+            profile = dataclasses.replace(base, p_reuse=p_reuse)
+            hierarchy = MemoryHierarchy(TINY_CONFIG)
+            workload = SyntheticWorkload(profile, seed=0)
+            collect_events(workload.records(3000), hierarchy)
+            rates[p_reuse] = hierarchy.l1d.stats.miss_rate
+        assert rates[0.95] < rates[0.3]
+
+    def test_store_region_bounds_dirty_footprint(self):
+        """A small sliding store window keeps fewer L1 words dirty than
+        free-roaming stores."""
+        from repro.memsim import MemoryHierarchy
+        from repro.timing import collect_events
+        from conftest import TINY_CONFIG
+        import dataclasses
+
+        base = get_profile("vpr")
+        fractions = {}
+        for region in (0, 2048):
+            profile = dataclasses.replace(base, store_region_bytes=region)
+            hierarchy = MemoryHierarchy(TINY_CONFIG)
+            workload = SyntheticWorkload(profile, seed=0)
+            collect_events(workload.records(4000), hierarchy)
+            fractions[region] = hierarchy.l1d.stats.dirty_fraction
+        assert fractions[2048] < fractions[0]
+
+    def test_mcf_misses_most(self):
+        """The profile family must order by design: mcf defeats the L1."""
+        from repro.memsim import MemoryHierarchy
+        from repro.timing import collect_events
+        from conftest import TINY_CONFIG
+
+        rates = {}
+        for name in ("mcf", "eon"):
+            hierarchy = MemoryHierarchy(TINY_CONFIG)
+            collect_events(make_workload(name).records(3000), hierarchy)
+            rates[name] = hierarchy.l1d.stats.miss_rate
+        assert rates["mcf"] > rates["eon"]

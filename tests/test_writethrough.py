@@ -1,0 +1,96 @@
+"""Tests for write-through and write-no-allocate cache modes."""
+
+import random
+
+import pytest
+
+from repro.cppc import CppcProtection
+from repro.errors import ConfigurationError
+from repro.memsim import Cache, MainMemory, ParityProtection
+
+
+def make_cache(**kwargs):
+    memory = MainMemory(block_bytes=32)
+    cache = Cache("L1D", 1024, 2, 32, next_level=memory, **kwargs)
+    return cache, memory
+
+
+class TestWriteThrough:
+    def test_requires_next_level(self):
+        with pytest.raises(ConfigurationError):
+            Cache("L1D", 1024, 2, 32, write_through=True)
+
+    def test_stores_propagate_immediately(self):
+        cache, memory = make_cache(write_through=True)
+        cache.store(0, b"\x77" * 8)
+        assert memory.peek(0, 8) == b"\x77" * 8
+
+    def test_no_dirty_data_ever(self):
+        cache, _ = make_cache(write_through=True)
+        rng = random.Random(0)
+        for _ in range(100):
+            cache.store(rng.randrange(256) * 8, rng.getrandbits(64).to_bytes(8, "big"))
+        assert cache.dirty_unit_count() == 0
+        assert cache.stats.write_throughs == 100
+
+    def test_subsequent_loads_hit(self):
+        cache, _ = make_cache(write_through=True)
+        cache.store(0, b"\x01" * 8)
+        assert cache.load(0, 8).hit
+
+    def test_parity_is_sufficient_protection(self):
+        """Paper Section 1: parity detects, the L2 copy recovers — every
+        fault in a write-through cache is recoverable."""
+        cache, memory = make_cache(
+            write_through=True, protection=ParityProtection()
+        )
+        cache.store(0, b"\x3A" * 8)
+        cache.corrupt_data(cache.locate(0), 1 << 63)
+        result = cache.load(0, 8)  # clean data: refetch, no DUE
+        assert result.detected_fault
+        assert result.data == b"\x3A" * 8
+
+    def test_cppc_register_invariant_holds(self):
+        """CPPC over a write-through cache: nothing stays dirty, so both
+        registers must always cancel."""
+        cache, _ = make_cache(
+            write_through=True, protection=CppcProtection(data_bits=64)
+        )
+        rng = random.Random(1)
+        for _ in range(80):
+            cache.store(rng.randrange(256) * 8, rng.getrandbits(64).to_bytes(8, "big"))
+        for i in range(cache.protection.registers.num_pairs):
+            assert cache.protection.registers.pairs[i].dirty_xor == 0
+
+    def test_partial_store_through(self):
+        cache, memory = make_cache(write_through=True)
+        cache.store(0, b"\x11" * 8)
+        cache.store(2, b"\xFF")
+        assert memory.peek(0, 8) == b"\x11\x11\xff\x11\x11\x11\x11\x11"
+
+
+class TestWriteNoAllocate:
+    def test_store_miss_bypasses_cache(self):
+        cache, memory = make_cache(allocate_on_write=False)
+        cache.store(0, b"\x42" * 8)
+        assert cache.locate(0) is None
+        assert memory.peek(0, 8) == b"\x42" * 8
+
+    def test_store_hit_still_writes_cache(self):
+        cache, memory = make_cache(allocate_on_write=False)
+        cache.load(0, 8)  # allocate via the read path
+        cache.store(0, b"\x42" * 8)
+        assert cache.load(0, 8).data == b"\x42" * 8
+
+    def test_partial_bypass_merges_with_memory(self):
+        cache, memory = make_cache(allocate_on_write=False)
+        memory.poke(0, bytes(range(32)))
+        cache.store(4, b"\xAA\xBB\xCC\xDD")
+        merged = memory.peek(0, 8)
+        assert merged == bytes([0, 1, 2, 3, 0xAA, 0xBB, 0xCC, 0xDD])
+
+    def test_counts_write_miss(self):
+        cache, _ = make_cache(allocate_on_write=False)
+        cache.store(0, b"\x01" * 8)
+        assert cache.stats.write_misses == 1
+        assert cache.stats.fills == 0
