@@ -10,7 +10,7 @@ import random
 
 from repro.cppc import CppcProtection
 from repro.errors import UncorrectableError
-from repro.faults import FaultInjector, SpatialFault
+from repro.faults import FaultInjector
 from repro.harness import format_table
 from repro.memsim import Cache, MainMemory
 

@@ -42,3 +42,16 @@ class FaultLocatorError(UncorrectableError):
 
 class TraceFormatError(ReproError):
     """A trace record or trace file could not be parsed."""
+
+
+class EquivalenceError(SimulationError):
+    """The batch fast path and the scalar simulator disagreed.
+
+    Raised by :class:`repro.workloads.replay.FastReplay` when its
+    cross-check finds any divergence between the two engines; the message
+    lists every mismatching line, statistic, register or memory block.
+    """
+
+    def __init__(self, message: str, *, mismatches=None):
+        super().__init__(message)
+        self.mismatches = list(mismatches or [])

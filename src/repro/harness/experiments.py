@@ -364,7 +364,7 @@ class Table3Result:
         )
         return (
             table
-            + f"\n\nSection 4.7 aliasing MTTF (L2, one register pair): "
+            + "\n\nSection 4.7 aliasing MTTF (L2, one register pair): "
             + f"{self.aliasing_l2_years:.3g} years"
         )
 

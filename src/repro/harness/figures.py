@@ -33,7 +33,7 @@ def bar_chart(
     if not values:
         raise ConfigurationError("nothing to chart")
     span = max(abs(v - baseline) for v in values) or 1.0
-    label_width = max(len(str(l)) for l in labels)
+    label_width = max(len(str(lab)) for lab in labels)
     lines = [title, "=" * len(title)]
     for label, value in zip(labels, values):
         magnitude = int(round(abs(value - baseline) / span * width))

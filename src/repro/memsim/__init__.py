@@ -33,8 +33,25 @@ from .scrub import EarlyWritebackScrubber, ScrubberStats
 from .stats import CacheStats
 from .types import AccessResult, AccessType, UnitLocation
 
+# Imported last: repro.cppc (needed for register bookkeeping) itself
+# imports this package's submodules.
+from .batch import (  # noqa: E402
+    BatchReplayEngine,
+    BatchReplayResult,
+    BatchTrace,
+    LineState,
+    cross_check_scalar,
+    snapshot_scalar_cache,
+)
+
 __all__ = [
     "AddressMapper",
+    "BatchReplayEngine",
+    "BatchReplayResult",
+    "BatchTrace",
+    "LineState",
+    "cross_check_scalar",
+    "snapshot_scalar_cache",
     "BoundedQueue",
     "PendingStore",
     "PendingVictim",

@@ -1,0 +1,741 @@
+"""NumPy-vectorized batch trace replay — the scalar ``Cache`` fast path.
+
+The object-model :class:`~repro.memsim.cache.Cache` walks every access one
+word at a time, which caps fault-injection campaigns and dirty-data sweeps
+at toy trace sizes.  This module replays a *whole trace* through a
+single-level write-back cache in bulk phases:
+
+1. **Decompose** — the trace becomes structured arrays
+   (:class:`BatchTrace`) and every address is split into tag / set / unit
+   / byte-offset fields with vectorized shifts and masks, mirroring
+   :class:`~repro.memsim.address.AddressMapper`.
+2. **Resolve** — accesses are grouped by set (``np.argsort``) and each
+   set's hit / miss / eviction / LRU sequence is resolved over flat array
+   state, logging dirty-word movement as event streams instead of
+   mutating Python objects.
+3. **Accumulate** — CPPC's R1/R2 registers (including the byte rotation
+   by ``row mod num_classes`` of :mod:`repro.cppc.shifting`), the
+   dirty-occupancy integral, and the Tavg interval histogram are reduced
+   from the event streams with ``np.bitwise_xor.reduce`` / ``np.cumsum``
+   / ``np.bincount``.
+
+The engine reproduces the scalar semantics *exactly* — same hit/miss
+stream, same statistics (including the Table 2 dirty-data metrics), same
+final data, dirty bits and check words, and bit-identical R1/R2 register
+contents — which :func:`cross_check_scalar` verifies word-for-word
+against a real :class:`~repro.memsim.cache.Cache`.
+
+Scope: fault-free replay of 64-bit-unit caches (the paper's L1 shape)
+under LRU with write-allocate.  Fault injection, wider units and other
+policies stay on the scalar path; :class:`repro.workloads.replay.FastReplay`
+enforces the boundary.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from ..cppc.registers import RegisterFile
+from ..errors import AlignmentError, ConfigurationError, TraceFormatError
+from ..util import WORD_BYTES
+from .address import AddressMapper
+from .stats import CacheStats
+from .types import AccessType
+
+#: Power-of-two boundaries used to bucket Tavg intervals exactly
+#: (``searchsorted`` beats float ``log2`` because it cannot misround).
+_POW2 = np.array([1 << b for b in range(63)], dtype=np.int64)
+
+#: All-ones byte masks indexed by access size (0..8 bytes).
+_SIZE_MASKS = np.array(
+    [(1 << (8 * s)) - 1 for s in range(WORD_BYTES + 1)], dtype=np.uint64
+)
+
+
+def _fold_check_words(values: np.ndarray) -> np.ndarray:
+    """8-way interleaved parity of 64-bit words, vectorized.
+
+    Folding the eight bytes of a word with XOR leaves parity group ``i``
+    (MSB-first bit ``i`` of every byte) in check-bit position ``i`` —
+    exactly :meth:`repro.coding.InterleavedParity.encode` for the
+    ``data_bits=64, ways=8`` configuration.
+    """
+    v = values.astype(np.uint64, copy=True)
+    v ^= v >> np.uint64(32)
+    v ^= v >> np.uint64(16)
+    v ^= v >> np.uint64(8)
+    return v & np.uint64(0xFF)
+
+
+def _rotl_bytes_u64(values: np.ndarray, count: int) -> np.ndarray:
+    """Rotate 64-bit words left by ``count`` bytes (vectorized)."""
+    count %= 8
+    if count == 0:
+        return values
+    shift = np.uint64(8 * count)
+    inv = np.uint64(64 - 8 * count)
+    return (values << shift) | (values >> inv)
+
+
+@dataclasses.dataclass(frozen=True)
+class BatchTrace:
+    """A memory trace as structured arrays (one row per reference).
+
+    Attributes:
+        addr: byte addresses (``int64``).
+        size: access sizes in bytes (``int64``, powers of two ≤ 8).
+        is_store: store flags (``bool``).
+        gap: non-memory instruction gaps (``int64``).
+        value_word: store bytes positioned inside their 64-bit unit
+            (``uint64``, zero for loads).
+        value_mask: byte mask of the store inside its unit (``uint64``).
+    """
+
+    addr: np.ndarray
+    size: np.ndarray
+    is_store: np.ndarray
+    gap: np.ndarray
+    value_word: np.ndarray
+    value_mask: np.ndarray
+
+    def __len__(self) -> int:
+        return len(self.addr)
+
+    @property
+    def instructions(self) -> int:
+        """Instructions the trace accounts for (gaps plus references)."""
+        return int(self.gap.sum()) + len(self)
+
+    @classmethod
+    def from_records(cls, records: Iterable) -> "BatchTrace":
+        """Pack :class:`~repro.workloads.trace.TraceRecord` objects.
+
+        Every access must stay inside one 64-bit unit (size a power of
+        two ≤ 8, naturally aligned) — the precondition of the batch
+        engine's single-unit access path.  Store bytes are positioned
+        inside their unit with vectorized shifts; only the raw field
+        extraction walks the record objects.
+        """
+        records = list(records)
+        n = len(records)
+        store_op = AccessType.STORE
+        is_store = np.fromiter(
+            (r.op is store_op for r in records),
+            dtype=bool,
+            count=n,
+        )
+        addr = np.fromiter((r.addr for r in records), dtype=np.int64, count=n)
+        size = np.fromiter((r.size for r in records), dtype=np.int64, count=n)
+        gap = np.fromiter((r.gap for r in records), dtype=np.int64, count=n)
+        raw = np.fromiter(
+            (int.from_bytes(r.value, "big") for r in records),
+            dtype=np.uint64,
+            count=n,
+        )
+        trace = cls(
+            addr=addr,
+            size=size,
+            is_store=is_store,
+            gap=gap,
+            value_word=np.zeros(n, dtype=np.uint64),
+            value_mask=np.zeros(n, dtype=np.uint64),
+        )
+        trace.validate()
+        # A store of `size` bytes lands at byte offset `addr mod 8` of its
+        # big-endian unit: left-shift the value and an all-ones byte mask
+        # into position, in bulk.
+        shift = (8 * (WORD_BYTES - (addr & 7) - size)).astype(np.uint64)
+        trace.value_word[:] = raw << shift
+        np.copyto(
+            trace.value_mask,
+            _SIZE_MASKS[size] << shift,
+            where=is_store,
+        )
+        return trace
+
+    def validate(self) -> None:
+        """Bulk-check the single-unit access preconditions."""
+        if len(self) and int(self.addr.min()) < 0:
+            raise TraceFormatError("batch trace addresses must be non-negative")
+        sizes = self.size
+        if len(self) and (
+            int(sizes.min()) < 1
+            or int(sizes.max()) > WORD_BYTES
+            or bool(np.any(sizes & (sizes - 1)))
+        ):
+            raise AlignmentError(
+                "batch replay needs power-of-two access sizes of at most "
+                f"{WORD_BYTES} bytes"
+            )
+        if len(self) and bool(np.any(self.addr % sizes)):
+            raise AlignmentError("batch replay needs naturally aligned accesses")
+
+
+@dataclasses.dataclass(frozen=True)
+class LineState:
+    """Final contents of one cache line after a batch replay."""
+
+    tag: int
+    data: bytes
+    dirty: Tuple[bool, ...]
+    check: Tuple[int, ...]
+
+
+@dataclasses.dataclass
+class BatchReplayResult:
+    """Everything a batch replay produced.
+
+    ``stats`` and ``registers`` are the *same types* the scalar simulator
+    uses (:class:`~repro.memsim.stats.CacheStats`,
+    :class:`~repro.cppc.registers.RegisterFile`), populated to be
+    field-for-field comparable.
+    """
+
+    references: int
+    loads: int
+    stores: int
+    instructions: int
+    stats: CacheStats
+    registers: RegisterFile
+    lines: Dict[Tuple[int, int], LineState]
+    memory: Dict[int, bytes]
+    memory_reads: int
+    memory_writes: int
+
+    @property
+    def dirty_xor(self) -> Dict[int, int]:
+        """R1 ^ R2 per register pair (the recovery invariant)."""
+        return {i: p.dirty_xor for i, p in enumerate(self.registers.pairs)}
+
+
+class BatchReplayEngine:
+    """Vectorized single-level cache replay with CPPC register tracking.
+
+    Mirrors a :class:`~repro.memsim.cache.Cache` built with
+    ``unit_bytes=8``, LRU replacement, write-back / write-allocate, a
+    :class:`~repro.cppc.CppcProtection` scheme and a
+    :class:`~repro.memsim.mainmem.MainMemory` next level.
+
+    Args:
+        size_bytes: total data capacity.
+        ways: associativity.
+        block_bytes: line size.
+        num_pairs: CPPC (R1, R2) register pairs (1, 2, 4 or 8).
+        byte_shifting: rotate values by their row's class before XORing.
+        num_classes: rotation classes (``row mod num_classes``).
+    """
+
+    def __init__(
+        self,
+        size_bytes: int,
+        ways: int,
+        block_bytes: int,
+        *,
+        unit_bytes: int = 8,
+        num_pairs: int = 1,
+        byte_shifting: bool = True,
+        num_classes: int = 8,
+        policy: str = "lru",
+    ):
+        if unit_bytes != WORD_BYTES:
+            raise ConfigurationError(
+                "the batch engine replays 64-bit protection units only "
+                f"(unit_bytes=8); got {unit_bytes}"
+            )
+        if policy.lower() != "lru":
+            raise ConfigurationError(
+                f"the batch engine models LRU replacement only, got {policy!r}"
+            )
+        if size_bytes % (ways * block_bytes):
+            raise ConfigurationError(
+                f"size {size_bytes} not divisible by ways*block "
+                f"({ways}*{block_bytes})"
+            )
+        self.size_bytes = size_bytes
+        self.ways = ways
+        self.block_bytes = block_bytes
+        self.unit_bytes = unit_bytes
+        self.num_sets = size_bytes // (ways * block_bytes)
+        self.mapper = AddressMapper(
+            block_bytes=block_bytes, num_sets=self.num_sets, unit_bytes=unit_bytes
+        )
+        self.units_per_block = self.mapper.units_per_block
+        self.num_pairs = num_pairs
+        self.byte_shifting = byte_shifting
+        self.num_classes = num_classes
+        # Validates the pair/class geometry exactly like CppcProtection.
+        RegisterFile(64, num_pairs=num_pairs, num_classes=num_classes)
+
+    # ------------------------------------------------------------------
+    # Phase 1 — bulk address decomposition
+    # ------------------------------------------------------------------
+    def decompose(
+        self, trace: BatchTrace
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Split every address into (set, tag, unit, rotation class)."""
+        block_shift = self.block_bytes.bit_length() - 1
+        set_bits = self.num_sets.bit_length() - 1
+        blocks = trace.addr >> block_shift
+        set_idx = blocks & (self.num_sets - 1)
+        tags = blocks >> set_bits
+        units = (trace.addr & (self.block_bytes - 1)) >> 3
+        classes = (set_idx * self.units_per_block + units) % self.num_classes
+        return set_idx, tags, units, classes
+
+    # ------------------------------------------------------------------
+    # Phases 2+3 — per-set resolution and bulk reduction
+    # ------------------------------------------------------------------
+    def replay(self, trace: BatchTrace) -> BatchReplayResult:
+        """Replay ``trace`` and return the full result bundle."""
+        trace.validate()
+        n = len(trace)
+        set_idx, tags, units, classes = self.decompose(trace)
+        cycles = np.cumsum(trace.gap + 1)
+        # Every block the trace can touch, pre-mapped to a dense memory
+        # image slot so the replay loop never hashes an address.
+        block_addrs = trace.addr >> (self.block_bytes.bit_length() - 1)
+        unique_blocks, mem_slot = np.unique(block_addrs, return_inverse=True)
+        upb = self.units_per_block
+        memimg: List[List[int]] = [[0] * upb for _ in range(len(unique_blocks))]
+
+        counters = _Counters()
+        r1_vals: List[int] = []
+        r1_cls: List[int] = []
+        r2_vals: List[int] = []
+        r2_cls: List[int] = []
+        intervals: List[int] = []
+        delta_idx: List[int] = []
+        delta_val: List[int] = []
+
+        # State arrays, indexed [set][way].
+        ways = self.ways
+        line_tag = [[-1] * ways for _ in range(self.num_sets)]
+        line_data: List[List[Optional[List[int]]]] = [
+            [None] * ways for _ in range(self.num_sets)
+        ]
+        line_dirty: List[List[Optional[List[bool]]]] = [
+            [None] * ways for _ in range(self.num_sets)
+        ]
+        line_last: List[List[Optional[List[Optional[int]]]]] = [
+            [None] * ways for _ in range(self.num_sets)
+        ]
+        line_slot = [[-1] * ways for _ in range(self.num_sets)]
+        line_ndirty = [[0] * ways for _ in range(self.num_sets)]
+
+        order = np.argsort(set_idx, kind="stable")
+        bounds = np.searchsorted(set_idx[order], np.arange(self.num_sets + 1))
+        for s in range(self.num_sets):
+            lo, hi = int(bounds[s]), int(bounds[s + 1])
+            if lo == hi:
+                continue
+            sub = order[lo:hi]
+            self._replay_set(
+                s,
+                sub.tolist(),
+                tags[sub].tolist(),
+                units[sub].tolist(),
+                classes[sub].tolist(),
+                trace.is_store[sub].tolist(),
+                cycles[sub].tolist(),
+                mem_slot[sub].tolist(),
+                trace.value_word[sub].tolist(),
+                trace.value_mask[sub].tolist(),
+                memimg,
+                (
+                    line_tag[s],
+                    line_data[s],
+                    line_dirty[s],
+                    line_last[s],
+                    line_slot[s],
+                    line_ndirty[s],
+                ),
+                counters,
+                r1_vals,
+                r1_cls,
+                r2_vals,
+                r2_cls,
+                intervals,
+                delta_idx,
+                delta_val,
+            )
+
+        stats = self._reduce_stats(
+            n,
+            cycles,
+            counters,
+            intervals,
+            delta_idx,
+            delta_val,
+        )
+        registers = self._reduce_registers(r1_vals, r1_cls, r2_vals, r2_cls)
+        lines = self._snapshot_lines(line_tag, line_data, line_dirty)
+        raw = np.array(memimg, dtype=np.uint64).astype(">u8").tobytes()
+        bb = self.block_bytes
+        memory = {
+            int(addr) * bb: raw[slot * bb : (slot + 1) * bb]
+            for slot, addr in enumerate(unique_blocks)
+        }
+        return BatchReplayResult(
+            references=n,
+            loads=int(n - trace.is_store.sum()),
+            stores=int(trace.is_store.sum()),
+            instructions=trace.instructions,
+            stats=stats,
+            registers=registers,
+            lines=lines,
+            memory=memory,
+            memory_reads=counters.mem_reads,
+            memory_writes=counters.mem_writes,
+        )
+
+    # ------------------------------------------------------------------
+    def _replay_set(
+        self,
+        s: int,
+        idxs: List[int],
+        tags: List[int],
+        units: List[int],
+        classes: List[int],
+        is_store: List[bool],
+        cycles: List[int],
+        slots: List[int],
+        words: List[int],
+        masks: List[int],
+        memimg: List[List[int]],
+        state,
+        c: "_Counters",
+        r1_vals: List[int],
+        r1_cls: List[int],
+        r2_vals: List[int],
+        r2_cls: List[int],
+        intervals: List[int],
+        delta_idx: List[int],
+        delta_val: List[int],
+    ) -> None:
+        """Resolve one set's access sequence over flat list state.
+
+        Sets are independent subproblems — a block address maps to
+        exactly one set, so cache *and* memory-image state touched here
+        is disjoint from every other set's.  The per-access work is a
+        handful of integer operations; everything reducible is deferred
+        to the bulk phases.
+        """
+        ltag, ldata, ldirty, llast, lslot, lndirty = state
+        ways = self.ways
+        way_range = range(ways)
+        upb = self.units_per_block
+        num_classes = self.num_classes
+        cls_base = (s * upb) % num_classes
+        lru = list(range(ways))
+        r1v = r1_vals.append
+        r1c = r1_cls.append
+        r2v = r2_vals.append
+        r2c = r2_cls.append
+        iva = intervals.append
+        dia = delta_idx.append
+        dva = delta_val.append
+
+        for i, t, u, cls_i, st, now, slot, word, msk in zip(
+            idxs, tags, units, classes, is_store, cycles, slots, words, masks
+        ):
+            # Tag match across the ways (scalar Cache._find order).
+            w = -1
+            for cand in way_range:
+                if ltag[cand] == t:
+                    w = cand
+                    break
+            if w >= 0:
+                if st:
+                    c.write_hits += 1
+                else:
+                    c.read_hits += 1
+            else:
+                if st:
+                    c.write_misses += 1
+                else:
+                    c.read_misses += 1
+                c.mem_reads += 1
+                # Victim: first invalid way, else LRU tail.
+                v = -1
+                for cand in way_range:
+                    if ltag[cand] == -1:
+                        v = cand
+                        break
+                if v < 0:
+                    v = lru[-1]
+                    nd = lndirty[v]
+                    if nd:
+                        victim_data = ldata[v]
+                        victim_dirty = ldirty[v]
+                        for uu in range(upb):
+                            if victim_dirty[uu]:
+                                r2v(victim_data[uu])
+                                r2c((cls_base + uu) % num_classes)
+                        memimg[lslot[v]] = victim_data
+                        c.mem_writes += 1
+                        c.writebacks += 1
+                        c.evictions_dirty += 1
+                        dia(i)
+                        dva(-nd)
+                    else:
+                        c.evictions_clean += 1
+                ltag[v] = t
+                ldata[v] = memimg[slot][:]
+                ldirty[v] = [False] * upb
+                llast[v] = [None] * upb
+                lslot[v] = slot
+                lndirty[v] = 0
+                c.fills += 1
+                w = v
+            drow = ldirty[w]
+            was_dirty = drow[u]
+            if st:
+                vrow = ldata[w]
+                lrow = llast[w]
+                old = vrow[u]
+                if was_dirty:
+                    c.stores_to_dirty += 1
+                    c.read_before_writes += 1
+                    r2v(old)
+                    r2c(cls_i)
+                new = (old & ~msk) | word
+                r1v(new)
+                r1c(cls_i)
+                vrow[u] = new
+                if not was_dirty:
+                    drow[u] = True
+                    lndirty[w] += 1
+                    dia(i)
+                    dva(1)
+                last = lrow[u]
+                if last is not None:
+                    iva(now - last)
+                lrow[u] = now
+            elif was_dirty:
+                lrow = llast[w]
+                iva(now - lrow[u])
+                lrow[u] = now
+            if lru[0] != w:
+                lru.remove(w)
+                lru.insert(0, w)
+
+    # ------------------------------------------------------------------
+    # Phase 3 — bulk reductions
+    # ------------------------------------------------------------------
+    def _reduce_registers(
+        self,
+        r1_vals: List[int],
+        r1_cls: List[int],
+        r2_vals: List[int],
+        r2_cls: List[int],
+    ) -> RegisterFile:
+        """Fold the dirty-word event streams into an (R1, R2) file."""
+        rf = RegisterFile(64, num_pairs=self.num_pairs, num_classes=self.num_classes)
+        for pair_index, pair in enumerate(rf.pairs):
+            pair.r1 = self._xor_stream(r1_vals, r1_cls, pair_index)
+            pair.r2 = self._xor_stream(r2_vals, r2_cls, pair_index)
+            # Incremental event parity telescopes to the parity of the
+            # final register value (popcount is linear over XOR mod 2).
+            pair.r1_parity = bin(pair.r1).count("1") & 1
+            pair.r2_parity = bin(pair.r2).count("1") & 1
+        return rf
+
+    def _xor_stream(
+        self, values: List[int], stream_classes: List[int], pair_index: int
+    ) -> int:
+        """``np.bitwise_xor.reduce`` of one pair's rotated value stream."""
+        if not values:
+            return 0
+        vals = np.array(values, dtype=np.uint64)
+        cls = np.array(stream_classes, dtype=np.int64)
+        acc = 0
+        for rotation_class in range(
+            pair_index * (self.num_classes // self.num_pairs),
+            (pair_index + 1) * (self.num_classes // self.num_pairs),
+        ):
+            selected = vals[cls == rotation_class]
+            if not len(selected):
+                continue
+            if self.byte_shifting:
+                selected = _rotl_bytes_u64(selected, rotation_class)
+            acc ^= int(np.bitwise_xor.reduce(selected))
+        return acc
+
+    def _reduce_stats(
+        self,
+        n: int,
+        cycles: np.ndarray,
+        c: "_Counters",
+        intervals: List[int],
+        delta_idx: List[int],
+        delta_val: List[int],
+    ) -> CacheStats:
+        """Rebuild a scalar-identical :class:`CacheStats` from events."""
+        stats = CacheStats()
+        stats.configure(self.num_sets * self.ways * self.units_per_block)
+        stats.read_hits = c.read_hits
+        stats.read_misses = c.read_misses
+        stats.write_hits = c.write_hits
+        stats.write_misses = c.write_misses
+        stats.fills = c.fills
+        stats.writebacks = c.writebacks
+        stats.evictions_clean = c.evictions_clean
+        stats.evictions_dirty = c.evictions_dirty
+        stats.read_before_writes = c.read_before_writes
+        stats.stores_to_dirty_units = c.stores_to_dirty
+        if n:
+            # Dirty-occupancy integral: the count in force over the
+            # interval ending at access i is the cumulative delta through
+            # access i-1 (the scalar cache integrates *before* applying
+            # an access's dirty-bit changes).
+            deltas = np.zeros(n, dtype=np.int64)
+            if delta_idx:
+                np.add.at(deltas, np.array(delta_idx), np.array(delta_val))
+            counts = np.cumsum(deltas)
+            prev_counts = np.concatenate(([0], counts[:-1]))
+            spans = np.diff(np.concatenate(([0], cycles)))
+            stats.dirty_time_integral = float(np.dot(spans, prev_counts))
+            stats.observed_cycles = float(cycles[-1])
+            stats._last_event_cycle = float(cycles[-1])
+            stats._current_dirty_units = int(counts[-1])
+        if intervals:
+            arr = np.array(intervals, dtype=np.int64)
+            stats.dirty_interval_sum = float(arr.sum())
+            stats.dirty_interval_count = len(arr)
+            buckets = np.maximum(np.searchsorted(_POW2, arr, side="right") - 1, 0)
+            stats.dirty_interval_histogram = {
+                int(b): int(count)
+                for b, count in enumerate(np.bincount(buckets))
+                if count
+            }
+        return stats
+
+    def _snapshot_lines(
+        self, line_tag, line_data, line_dirty
+    ) -> Dict[Tuple[int, int], LineState]:
+        """Final per-line state with check words re-encoded in bulk."""
+        lines: Dict[Tuple[int, int], LineState] = {}
+        for s in range(self.num_sets):
+            for w in range(self.ways):
+                if line_tag[s][w] == -1:
+                    continue
+                values = np.array(line_data[s][w], dtype=np.uint64)
+                # Fault-free replay of a linear code: the check word of
+                # every unit equals a fresh encode of its value.
+                checks = _fold_check_words(values)
+                lines[(s, w)] = LineState(
+                    tag=line_tag[s][w],
+                    data=values.astype(">u8").tobytes(),
+                    dirty=tuple(line_dirty[s][w]),
+                    check=tuple(int(x) for x in checks),
+                )
+        return lines
+
+
+class _Counters:
+    """Scalar event counters accumulated by the replay loop."""
+
+    __slots__ = (
+        "read_hits",
+        "read_misses",
+        "write_hits",
+        "write_misses",
+        "fills",
+        "writebacks",
+        "evictions_clean",
+        "evictions_dirty",
+        "read_before_writes",
+        "stores_to_dirty",
+        "mem_reads",
+        "mem_writes",
+    )
+
+    def __init__(self):
+        for name in self.__slots__:
+            setattr(self, name, 0)
+
+
+# ----------------------------------------------------------------------
+# Equivalence cross-check against the scalar object model
+# ----------------------------------------------------------------------
+def snapshot_scalar_cache(cache) -> Dict[Tuple[int, int], LineState]:
+    """The scalar :class:`Cache`'s lines in :class:`LineState` form."""
+    lines: Dict[Tuple[int, int], LineState] = {}
+    for s in range(cache.num_sets):
+        for w in range(cache.ways):
+            ln = cache.line(s, w)
+            if not ln.valid:
+                continue
+            lines[(s, w)] = LineState(
+                tag=ln.tag,
+                data=bytes(ln.data),
+                dirty=tuple(ln.dirty),
+                check=tuple(ln.check),
+            )
+    return lines
+
+
+def cross_check_scalar(result: BatchReplayResult, cache, memory) -> List[str]:
+    """Compare a batch result against a scalar replay of the same trace.
+
+    Returns a list of human-readable mismatch descriptions (empty when
+    the two engines agree on cache contents, dirty bits, check words,
+    statistics, memory image and register state).
+    """
+    problems: List[str] = []
+    scalar_lines = snapshot_scalar_cache(cache)
+    for key in sorted(set(scalar_lines) | set(result.lines)):
+        mine = result.lines.get(key)
+        theirs = scalar_lines.get(key)
+        if mine != theirs:
+            problems.append(f"line {key}: batch={mine!r} scalar={theirs!r}")
+    batch_stats = result.stats.snapshot()
+    scalar_stats = cache.stats.snapshot()
+    for name in sorted(set(batch_stats) | set(scalar_stats)):
+        if batch_stats.get(name) != scalar_stats.get(name):
+            problems.append(
+                f"stats[{name}]: batch={batch_stats.get(name)!r} "
+                f"scalar={scalar_stats.get(name)!r}"
+            )
+    if result.stats.dirty_interval_histogram != cache.stats.dirty_interval_histogram:
+        problems.append(
+            f"interval histogram: batch={result.stats.dirty_interval_histogram!r} "
+            f"scalar={cache.stats.dirty_interval_histogram!r}"
+        )
+    protection = cache.protection
+    scalar_registers = getattr(protection, "registers", None)
+    if scalar_registers is not None:
+        for i, (mine, theirs) in enumerate(
+            zip(result.registers.pairs, scalar_registers.pairs)
+        ):
+            for field in ("r1", "r2", "r1_parity", "r2_parity"):
+                if getattr(mine, field) != getattr(theirs, field):
+                    problems.append(
+                        f"pair {i} {field}: batch={getattr(mine, field):#x} "
+                        f"scalar={getattr(theirs, field):#x}"
+                    )
+            expected = protection.dirty_xor_expected(i)
+            if mine.dirty_xor != expected:
+                problems.append(
+                    f"pair {i} R1^R2 {mine.dirty_xor:#x} != XOR of rotated "
+                    f"dirty words {expected:#x}"
+                )
+    for block_addr, data in sorted(result.memory.items()):
+        theirs = memory.peek(block_addr, len(data))
+        if data != theirs:
+            problems.append(
+                f"memory block {block_addr:#x}: batch={data.hex()} "
+                f"scalar={theirs.hex()}"
+            )
+    if result.memory_reads != memory.reads:
+        problems.append(
+            f"memory reads: batch={result.memory_reads} scalar={memory.reads}"
+        )
+    if result.memory_writes != memory.writes:
+        problems.append(
+            f"memory writes: batch={result.memory_writes} scalar={memory.writes}"
+        )
+    return problems

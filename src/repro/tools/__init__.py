@@ -7,6 +7,7 @@ Each submodule exposes ``main(argv)`` and is runnable as
 from . import (
     gen_docs,
     gen_trace,
+    run_bench,
     run_campaign,
     run_experiment,
     run_scorecard,
@@ -16,6 +17,7 @@ from . import (
 __all__ = [
     "gen_docs",
     "gen_trace",
+    "run_bench",
     "run_campaign",
     "run_experiment",
     "run_scorecard",

@@ -1,0 +1,182 @@
+"""Benchmark the batch replay fast path against the scalar simulator.
+
+Replays one synthetic benchmark trace through both engines, checks
+that they agree word-for-word on a short prefix, and writes a JSON
+report (``BENCH_replay.json`` by default)::
+
+    python -m repro.tools.run_bench --trace-len 100000
+    python -m repro.tools.run_bench --trace-len 20000 --min-speedup 3
+
+``--min-speedup`` turns the run into a gate: the exit status is
+non-zero when the measured speedup falls below the floor, which is how
+CI keeps the fast path honest without being flaky about absolute
+timings.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import time
+from typing import Optional, Sequence
+
+from ..errors import EquivalenceError
+from ..memsim.batch import BatchTrace
+from ..workloads import benchmark_names, make_workload, materialize
+from ..workloads.replay import FastReplay, TraceReplayer
+
+#: Trace prefix used to warm both engines before the timed runs.
+WARMUP_REFERENCES = 5_000
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-run-bench",
+        description="Time scalar vs. batch trace replay and emit JSON.",
+    )
+    parser.add_argument(
+        "--benchmark",
+        choices=benchmark_names(),
+        default="gcc",
+        help="synthetic workload profile (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--trace-len",
+        "-n",
+        type=int,
+        default=100_000,
+        help="references in the timed trace (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--equivalence-len",
+        type=int,
+        default=1_000,
+        help="prefix replayed through both engines and cross-checked "
+        "word-for-word; 0 skips the check (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--repeats",
+        type=int,
+        default=3,
+        help="timed repetitions per engine, best taken (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help="workload seed (default: 0)",
+    )
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=0.0,
+        help="fail (exit 1) when batch/scalar speedup is below this "
+        "(default: no gate)",
+    )
+    parser.add_argument(
+        "--output",
+        "-o",
+        type=pathlib.Path,
+        default=pathlib.Path("BENCH_replay.json"),
+        help="JSON report path (default: %(default)s)",
+    )
+    return parser
+
+
+def _time_best(fn, repeats: int) -> float:
+    """Best-of-``repeats`` wall time of ``fn()`` in seconds."""
+    best = float("inf")
+    for _ in range(max(1, repeats)):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def run_bench(
+    benchmark: str = "gcc",
+    trace_len: int = 100_000,
+    *,
+    equivalence_len: int = 1_000,
+    repeats: int = 3,
+    seed: int = 0,
+) -> dict:
+    """Run the comparison and return the report dictionary."""
+    if trace_len < 1:
+        raise ValueError("trace_len must be positive")
+    records = materialize(make_workload(benchmark, seed=seed).records(trace_len))
+    replayer = FastReplay(equivalence="never")
+
+    # Correctness first: replay a short prefix through both engines and
+    # compare final state word-for-word (raises EquivalenceError on any
+    # divergence).
+    checked = min(equivalence_len, trace_len)
+    if checked:
+        FastReplay(equivalence="always").run(records[:checked])
+
+    # Warm both paths so one-time NumPy/interpreter setup costs do not
+    # pollute the measurement.
+    warm = records[: min(WARMUP_REFERENCES, trace_len)]
+    replayer.engine.replay(BatchTrace.from_records(warm))
+    TraceReplayer(replayer.scalar_cache()).run(warm)
+
+    batch_s = _time_best(
+        lambda: replayer.engine.replay(BatchTrace.from_records(records)),
+        repeats,
+    )
+    scalar_s = _time_best(
+        lambda: TraceReplayer(replayer.scalar_cache()).run(records),
+        repeats,
+    )
+    return {
+        "benchmark": benchmark,
+        "trace_len": trace_len,
+        "seed": seed,
+        "repeats": repeats,
+        "equivalence_checked_references": checked,
+        "scalar_seconds": scalar_s,
+        "batch_seconds": batch_s,
+        "scalar_ops_per_sec": trace_len / scalar_s,
+        "batch_ops_per_sec": trace_len / batch_s,
+        "speedup": scalar_s / batch_s,
+    }
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.trace_len < 1:
+        parser.error("--trace-len must be positive")
+    try:
+        report = run_bench(
+            args.benchmark,
+            args.trace_len,
+            equivalence_len=args.equivalence_len,
+            repeats=args.repeats,
+            seed=args.seed,
+        )
+    except EquivalenceError as exc:
+        print(f"equivalence check FAILED:\n{exc}", file=sys.stderr)
+        return 1
+    args.output.write_text(json.dumps(report, indent=2) + "\n")
+    print(
+        "{benchmark}: {trace_len} refs  "
+        "scalar {scalar_ops_per_sec:.0f} ops/s  "
+        "batch {batch_ops_per_sec:.0f} ops/s  "
+        "speedup {speedup:.1f}x".format(**report)
+    )
+    print(f"wrote {args.output}")
+    if args.min_speedup and report["speedup"] < args.min_speedup:
+        print(
+            f"speedup {report['speedup']:.1f}x is below the required "
+            f"{args.min_speedup:.1f}x",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,7 +1,15 @@
 """Workloads: trace format, synthetic generators, SPEC2000-like profiles."""
 
 from .generators import SyntheticWorkload, WorkloadProfile
-from .replay import GoldenMemory, ReplayResult, TraceReplayer, replay
+from .replay import (
+    FastReplay,
+    FastReplayResult,
+    GoldenMemory,
+    ReplayResult,
+    TraceReplayer,
+    fast_replay,
+    replay,
+)
 from .spec import (
     BENCHMARKS,
     PROFILES,
@@ -22,9 +30,12 @@ from .transforms import (
 __all__ = [
     "SyntheticWorkload",
     "WorkloadProfile",
+    "FastReplay",
+    "FastReplayResult",
     "GoldenMemory",
     "ReplayResult",
     "TraceReplayer",
+    "fast_replay",
     "replay",
     "BENCHMARKS",
     "PROFILES",

@@ -4,17 +4,33 @@ The replayer advances a logical cycle clock by each record's instruction
 gap (one instruction per cycle, the bookkeeping basis for the Table 2
 ``Tavg`` metric) and can maintain a byte-granular golden memory image so
 fault-injection campaigns can detect silent data corruption.
+
+:class:`FastReplay` fronts the NumPy batch engine
+(:mod:`repro.memsim.batch`): same single-cache semantics, orders of
+magnitude faster, with an automatic equivalence mode that replays small
+traces through the scalar :class:`~repro.memsim.cache.Cache` as well and
+cross-checks final contents, dirty bits, statistics and the CPPC R1^R2
+invariant word-for-word.
 """
 
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, Iterable, Optional
+from typing import Dict, Iterable, List, Optional
 
-from ..errors import SimulationError
+from ..cppc.protection import CppcProtection
+from ..errors import ConfigurationError, EquivalenceError, SimulationError
+from ..memsim.batch import (
+    BatchReplayEngine,
+    BatchReplayResult,
+    BatchTrace,
+    cross_check_scalar,
+)
+from ..memsim.cache import Cache
 from ..memsim.hierarchy import MemoryHierarchy
+from ..memsim.mainmem import MainMemory
 from ..memsim.types import AccessType
-from .trace import TraceRecord
+from .trace import TraceRecord, materialize
 
 
 class GoldenMemory:
@@ -117,3 +133,146 @@ def replay(
     return TraceReplayer(
         hierarchy, golden=golden, check_loads=check_loads
     ).run(records)
+
+
+@dataclasses.dataclass
+class FastReplayResult:
+    """Outcome of one :class:`FastReplay` run.
+
+    Attributes:
+        replay: the scalar-compatible reference/cycle summary.
+        batch: the engine's full result (stats, registers, final state).
+        checked: whether the scalar cross-check ran (and passed — a
+            failing check raises :class:`~repro.errors.EquivalenceError`).
+    """
+
+    replay: ReplayResult
+    batch: BatchReplayResult
+    checked: bool
+
+    @property
+    def stats(self):
+        """The batch run's :class:`~repro.memsim.stats.CacheStats`."""
+        return self.batch.stats
+
+    @property
+    def registers(self):
+        """The batch run's CPPC :class:`~repro.cppc.registers.RegisterFile`."""
+        return self.batch.registers
+
+
+class FastReplay:
+    """Batch-engine trace replay with automatic scalar cross-checking.
+
+    Models one CPPC-protected write-back cache over main memory (the
+    configuration :mod:`repro.memsim.batch` vectorizes).  Equivalence
+    modes:
+
+    * ``"auto"`` (default) — traces of at most ``equivalence_limit``
+      references are *also* replayed through the scalar ``Cache`` and the
+      results compared word-for-word; longer traces run batch-only.
+    * ``"always"`` / ``"never"`` — force either behaviour.
+
+    Args:
+        size_bytes / ways / block_bytes: cache geometry.
+        num_pairs / byte_shifting / num_classes: CPPC register
+            configuration (as :class:`~repro.cppc.CppcProtection`).
+        equivalence: cross-check mode.
+        equivalence_limit: reference-count cutoff for ``"auto"``.
+    """
+
+    MODES = ("auto", "always", "never")
+
+    def __init__(
+        self,
+        size_bytes: int = 32 * 1024,
+        ways: int = 2,
+        block_bytes: int = 32,
+        *,
+        num_pairs: int = 1,
+        byte_shifting: bool = True,
+        num_classes: int = 8,
+        equivalence: str = "auto",
+        equivalence_limit: int = 2048,
+    ):
+        if equivalence not in self.MODES:
+            raise ConfigurationError(
+                f"equivalence mode must be one of {self.MODES}, "
+                f"got {equivalence!r}"
+            )
+        if equivalence_limit < 0:
+            raise ConfigurationError("equivalence_limit must be >= 0")
+        self.engine = BatchReplayEngine(
+            size_bytes,
+            ways,
+            block_bytes,
+            num_pairs=num_pairs,
+            byte_shifting=byte_shifting,
+            num_classes=num_classes,
+        )
+        self.num_pairs = num_pairs
+        self.byte_shifting = byte_shifting
+        self.num_classes = num_classes
+        self.equivalence = equivalence
+        self.equivalence_limit = equivalence_limit
+
+    def scalar_cache(self) -> Cache:
+        """A fresh scalar cache configured identically to the engine."""
+        return Cache(
+            "batch-check",
+            self.engine.size_bytes,
+            self.engine.ways,
+            self.engine.block_bytes,
+            unit_bytes=self.engine.unit_bytes,
+            protection=CppcProtection(
+                data_bits=self.engine.unit_bytes * 8,
+                num_pairs=self.num_pairs,
+                byte_shifting=self.byte_shifting,
+                num_classes=self.num_classes,
+            ),
+            next_level=MainMemory(block_bytes=self.engine.block_bytes),
+        )
+
+    def run(self, records: Iterable[TraceRecord]) -> FastReplayResult:
+        """Replay ``records``; cross-check against the scalar cache when
+        the equivalence mode says so."""
+        records = materialize(records)
+        batch = self.engine.replay(BatchTrace.from_records(records))
+        summary = ReplayResult(
+            references=batch.references,
+            loads=batch.loads,
+            stores=batch.stores,
+            instructions=batch.instructions,
+        )
+        check = self.equivalence == "always" or (
+            self.equivalence == "auto"
+            and len(records) <= self.equivalence_limit
+        )
+        if check:
+            problems = self._cross_check(records, batch)
+            if problems:
+                raise EquivalenceError(
+                    "batch replay diverged from the scalar cache:\n  "
+                    + "\n  ".join(problems),
+                    mismatches=problems,
+                )
+        return FastReplayResult(replay=summary, batch=batch, checked=check)
+
+    def _cross_check(self, records, batch) -> List[str]:
+        """Scalar replay of the same records plus the full comparison."""
+        cache = self.scalar_cache()
+        scalar_summary = TraceReplayer(cache).run(records)
+        problems = cross_check_scalar(batch, cache, cache.next_level)
+        for field in ("references", "loads", "stores", "instructions"):
+            mine = getattr(batch, field)
+            theirs = getattr(scalar_summary, field)
+            if mine != theirs:
+                problems.append(f"{field}: batch={mine} scalar={theirs}")
+        return problems
+
+
+def fast_replay(
+    records: Iterable[TraceRecord], **kwargs
+) -> FastReplayResult:
+    """Convenience wrapper around :class:`FastReplay`."""
+    return FastReplay(**kwargs).run(records)

@@ -37,9 +37,9 @@ class TraceRecord:
         if self.size < 1:
             raise TraceFormatError(f"record size must be positive, got {self.size}")
         if self.addr < 0:
-            raise TraceFormatError(f"record address must be non-negative")
+            raise TraceFormatError("record address must be non-negative")
         if self.gap < 0:
-            raise TraceFormatError(f"record gap must be non-negative")
+            raise TraceFormatError("record gap must be non-negative")
         if self.op is AccessType.STORE and len(self.value) != self.size:
             raise TraceFormatError(
                 f"store record carries {len(self.value)} bytes for size {self.size}"

@@ -162,7 +162,8 @@ class TestRotation:
     @given(words, st.integers(min_value=0, max_value=7))
     def test_byte_rotation_preserves_bit_in_byte_position(self, x, c):
         rotated = rotl_bytes(x, c)
-        groups = lambda v: sorted(k % 8 for k in bit_positions(v))
+        def groups(v):
+            return sorted(k % 8 for k in bit_positions(v))
         assert groups(rotated) == groups(x)
 
     @given(words, st.integers(min_value=0, max_value=63))

@@ -6,7 +6,6 @@ from hypothesis import strategies as st
 
 from repro.coding import VerticalParity
 from repro.errors import ConfigurationError
-from repro.util import xor_reduce
 
 words = st.integers(min_value=0, max_value=(1 << 64) - 1)
 

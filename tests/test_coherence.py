@@ -18,7 +18,7 @@ def make_system(num_cores=2, protected=False):
         num_cores,
         small_coherent_config(),
         protection_factory=cppc_factory if protected else (
-            lambda c, l, u: __import__("repro.memsim", fromlist=["NoProtection"]).NoProtection()
+            lambda c, lvl, u: __import__("repro.memsim", fromlist=["NoProtection"]).NoProtection()
         ),
     )
 

@@ -39,9 +39,10 @@ class TestTagCppcUnit:
 
     def test_double_attach_rejected(self):
         tp = TagCppc()
-        make_cache = lambda: Cache(
-            "L1D", 1024, 2, 32, next_level=MainMemory(32), tag_protection=tp
-        )
+        def make_cache():
+            return Cache(
+                "L1D", 1024, 2, 32, next_level=MainMemory(32), tag_protection=tp
+            )
         make_cache()
         with pytest.raises(ConfigurationError):
             make_cache()

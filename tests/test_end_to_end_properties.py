@@ -10,7 +10,6 @@ over random operation sequences and random single-fault injections:
   instead, which the property treats as an acceptable outcome.
 """
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -1,8 +1,6 @@
 """Tests for fault models and the injector."""
 
 import pytest
-from hypothesis import given
-from hypothesis import strategies as st
 
 from repro.errors import ConfigurationError
 from repro.faults import FaultInjector, SpatialFault, TemporalFault

@@ -14,7 +14,6 @@ flags and the R3 residue.  Properties:
 
 from itertools import product
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

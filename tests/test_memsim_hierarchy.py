@@ -124,6 +124,6 @@ class TestProtectionFactoryWiring:
 
         h = MemoryHierarchy(
             TINY_CONFIG,
-            protection_factory=lambda l, u: CppcProtection(data_bits=u),
+            protection_factory=lambda lvl, u: CppcProtection(data_bits=u),
         )
         assert h.l1d.protection is not h.l2.protection

@@ -4,7 +4,6 @@ import pytest
 
 from repro.errors import ConfigurationError
 from repro.reliability import (
-    DoubleFaultEstimate,
     analytical_collision_probability,
     estimate_double_fault_failure,
 )

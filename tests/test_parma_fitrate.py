@@ -5,7 +5,7 @@ import math
 import pytest
 
 from repro.errors import ConfigurationError
-from repro.faults import CampaignConfig, FaultCampaign, Outcome, estimate_fit
+from repro.faults import CampaignConfig, FaultCampaign, estimate_fit
 from repro.harness import scheme_factory
 from repro.memsim import CacheStats, MemoryHierarchy
 from repro.reliability import (

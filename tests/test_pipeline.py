@@ -6,7 +6,6 @@ from repro.errors import ConfigurationError
 from repro.memsim import MemoryHierarchy
 from repro.timing import (
     AccessEvent,
-    DetailedPipeline,
     PipelineConfig,
     collect_events,
     simulate_detailed_cpi,

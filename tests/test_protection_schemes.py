@@ -9,8 +9,6 @@ from hypothesis import strategies as st
 from repro.coding import InterleavedParity
 from repro.errors import ConfigurationError, UncorrectableError
 from repro.memsim import (
-    Cache,
-    MainMemory,
     NoProtection,
     ParityProtection,
     SecdedProtection,

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import SimulationError
-from repro.memsim import AccessType, MemoryHierarchy
+from repro.memsim import AccessType
 from repro.workloads import (
     GoldenMemory,
     TraceRecord,
@@ -11,8 +11,6 @@ from repro.workloads import (
     make_workload,
     replay,
 )
-
-from conftest import TINY_CONFIG
 
 
 class TestGoldenMemory:

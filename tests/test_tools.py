@@ -1,7 +1,5 @@
 """Tests for the command-line tools."""
 
-import io
-
 import pytest
 
 from repro.tools import gen_trace, run_campaign, run_experiment
@@ -116,7 +114,6 @@ class TestGenDocs:
 
 class TestRunScorecard:
     def test_scorecard_cli(self, capsys, monkeypatch):
-        from repro.harness import scorecard as score_fn
         from repro.tools import run_scorecard
 
         rc = run_scorecard.main(["-n", "4000"])

@@ -9,7 +9,6 @@ from repro.workloads import (
     drop,
     interleave,
     make_workload,
-    materialize,
     multiprogrammed_mix,
     offset_addresses,
     scale_gaps,

@@ -3,8 +3,6 @@
 import io
 
 import pytest
-from hypothesis import given, settings
-from hypothesis import strategies as st
 
 from repro.errors import ConfigurationError, TraceFormatError
 from repro.memsim import AccessType
