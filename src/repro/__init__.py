@@ -12,6 +12,8 @@ Package map:
 * :mod:`repro.memsim` — set-associative cache simulator and hierarchy
 * :mod:`repro.cppc` — the CPPC mechanism (registers, shifting, recovery)
 * :mod:`repro.faults` — fault models, injection, Monte-Carlo campaigns
+* :mod:`repro.runtime` — crash-safe trial execution (workers, timeouts,
+  retries, resumable checkpoints)
 * :mod:`repro.energy` — CACTI-style energy/area models
 * :mod:`repro.timing` — CPI model with cache-port contention
 * :mod:`repro.reliability` — analytical MTTF models
@@ -31,11 +33,15 @@ from __future__ import annotations
 from .cppc import CppcProtection, l1_cppc, l2_cppc
 from .errors import (
     AlignmentError,
+    CampaignRuntimeError,
+    CheckpointCorruptError,
     ConfigurationError,
     FaultLocatorError,
     ReproError,
     SimulationError,
     TraceFormatError,
+    TrialCrashError,
+    TrialTimeoutError,
     UncorrectableError,
 )
 from .memsim import (
@@ -85,11 +91,15 @@ __all__ = [
     "l1_cppc",
     "l2_cppc",
     "AlignmentError",
+    "CampaignRuntimeError",
+    "CheckpointCorruptError",
     "ConfigurationError",
     "FaultLocatorError",
     "ReproError",
     "SimulationError",
     "TraceFormatError",
+    "TrialCrashError",
+    "TrialTimeoutError",
     "UncorrectableError",
     "PAPER_CONFIG",
     "Cache",

@@ -44,6 +44,59 @@ class TraceFormatError(ReproError):
     """A trace record or trace file could not be parsed."""
 
 
+class CampaignRuntimeError(ReproError, RuntimeError):
+    """Base class for failures of the campaign *execution layer*.
+
+    These errors are about running trials (worker processes, timeouts,
+    checkpoints), never about the simulated architecture itself — an
+    :class:`UncorrectableError` is a modeled machine check, a
+    :class:`CampaignRuntimeError` is the harness breaking.  Instances
+    cross process boundaries, so subclasses must stay picklable; the
+    ``__reduce__`` here preserves keyword state through the round trip.
+    """
+
+    def __reduce__(self):
+        return (_rebuild_error, (self.__class__, self.args, self.__dict__))
+
+
+def _rebuild_error(cls, args, state):
+    """Unpickle helper: rebuild a :class:`CampaignRuntimeError` subclass."""
+    err = cls.__new__(cls)
+    Exception.__init__(err, *args)
+    err.__dict__.update(state)
+    return err
+
+
+class TrialCrashError(CampaignRuntimeError):
+    """A campaign trial raised an unexpected exception (or its worker died).
+
+    Carries the trial index and derived seed so drivers can report
+    exactly which trial failed and reproduce it in isolation.
+    """
+
+    def __init__(self, message: str, *, trial_index=None, seed=None):
+        super().__init__(message)
+        self.trial_index = trial_index
+        self.seed = seed
+
+
+class TrialTimeoutError(CampaignRuntimeError):
+    """A campaign trial exceeded its wall-clock budget and was killed."""
+
+    def __init__(self, message: str, *, trial_index=None, seed=None,
+                 timeout_s=None):
+        super().__init__(message)
+        self.trial_index = trial_index
+        self.seed = seed
+        self.timeout_s = timeout_s
+
+
+class CheckpointCorruptError(CampaignRuntimeError):
+    """A campaign checkpoint could not be trusted (bad digest, torn
+    record in the middle of the log, or a manifest that does not match
+    the campaign being resumed)."""
+
+
 class EquivalenceError(SimulationError):
     """The batch fast path and the scalar simulator disagreed.
 

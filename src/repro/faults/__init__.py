@@ -5,18 +5,24 @@ from .campaign import (
     CampaignResult,
     FaultCampaign,
     Outcome,
+    TrialFailure,
     TrialResult,
 )
 from .fitrate import FitEstimate, estimate_fit
 from .injector import FaultInjector, InjectionRecord
 from .models import BitFlip, SpatialFault, TemporalFault
+from .schemes import SCHEMES, SchemeFactory, scheme_factory
 
 __all__ = [
     "CampaignConfig",
     "CampaignResult",
     "FaultCampaign",
     "Outcome",
+    "TrialFailure",
     "TrialResult",
+    "SCHEMES",
+    "SchemeFactory",
+    "scheme_factory",
     "FitEstimate",
     "estimate_fit",
     "FaultInjector",

@@ -22,9 +22,10 @@ import enum
 import itertools
 from typing import Callable, Dict, List, Optional, Tuple
 
-from ..errors import ConfigurationError, UncorrectableError
+from ..errors import ConfigurationError, TrialCrashError, UncorrectableError
 from ..memsim.hierarchy import MemoryHierarchy
 from ..memsim.protection import CacheProtection
+from ..util.rng import split_seed
 from ..workloads.replay import GoldenMemory, TraceReplayer
 from ..workloads.spec import make_workload
 from .injector import FaultInjector, InjectionRecord
@@ -80,6 +81,16 @@ class CampaignConfig:
         if self.trials < 1:
             raise ConfigurationError("trials must be >= 1")
 
+    def trial_seed(self, trial: int) -> int:
+        """Stable 64-bit identity of trial ``trial``'s seed material.
+
+        Derived by :func:`repro.util.rng.split_seed`, so it is identical
+        across processes and runs — checkpoints key on it, retry jitter
+        derives from it, and resumed campaigns verify it before trusting
+        a recorded trial.
+        """
+        return split_seed(self.seed, "trial", trial)
+
 
 @dataclasses.dataclass
 class TrialResult:
@@ -91,12 +102,42 @@ class TrialResult:
     detail: str = ""
 
 
+@dataclasses.dataclass(frozen=True)
+class TrialFailure:
+    """A trial the execution layer could not complete.
+
+    Recorded after the retry policy is exhausted, so a campaign degrades
+    to partial results with explicit accounting instead of dying.
+
+    Attributes:
+        trial_index: which trial failed.
+        seed: the trial's derived seed identity
+            (:meth:`CampaignConfig.trial_seed`).
+        kind: ``"crash"`` or ``"timeout"``.
+        attempts: how many attempts were made before giving up.
+        message: last error message observed.
+    """
+
+    trial_index: int
+    seed: int
+    kind: str
+    attempts: int
+    message: str = ""
+
+
 @dataclasses.dataclass
 class CampaignResult:
-    """Aggregated campaign outcome counts."""
+    """Aggregated campaign outcome counts plus execution-layer failures.
+
+    ``trials`` holds every *completed* trial; ``failures`` holds trials
+    the runtime gave up on (crash/timeout after retries).  Outcome rates
+    are over completed trials only, so partial campaigns stay valid
+    estimates with an explicit denominator.
+    """
 
     config: CampaignConfig
     trials: List[TrialResult] = dataclasses.field(default_factory=list)
+    failures: List[TrialFailure] = dataclasses.field(default_factory=list)
 
     @property
     def counts(self) -> Dict[Outcome, int]:
@@ -106,8 +147,23 @@ class CampaignResult:
             out[t.outcome] += 1
         return out
 
+    @property
+    def completed(self) -> int:
+        """Number of trials that ran to classification."""
+        return len(self.trials)
+
+    @property
+    def failed(self) -> int:
+        """Number of trials abandoned by the execution layer."""
+        return len(self.failures)
+
+    @property
+    def complete(self) -> bool:
+        """True when every configured trial produced an outcome."""
+        return not self.failures and len(self.trials) == self.config.trials
+
     def rate(self, outcome: Outcome) -> float:
-        """Fraction of trials ending in ``outcome``."""
+        """Fraction of completed trials ending in ``outcome``."""
         return self.counts[outcome] / len(self.trials) if self.trials else 0.0
 
     def summary(self) -> Dict[str, float]:
@@ -121,8 +177,20 @@ class FaultCampaign:
     def __init__(self, config: CampaignConfig):
         self.config = config
 
-    def run(self) -> CampaignResult:
-        """Execute every trial and return the aggregate."""
+    def run(self, runtime=None) -> CampaignResult:
+        """Execute every trial and return the aggregate.
+
+        With ``runtime=None`` trials run sequentially in-process and any
+        trial crash raises :class:`~repro.errors.TrialCrashError` (naming
+        the trial) out of the sweep.  Passing a
+        :class:`repro.runtime.CampaignRuntime` instead runs each trial in
+        a worker subprocess with timeout/retry/checkpoint handling, and
+        crashes degrade to :class:`TrialFailure` records.
+        """
+        if runtime is not None:
+            from ..runtime.campaign import run_campaign
+
+            return run_campaign(self.config, runtime)
         result = CampaignResult(config=self.config)
         for trial in range(self.config.trials):
             result.trials.append(self._run_trial(trial))
@@ -130,6 +198,35 @@ class FaultCampaign:
 
     # ------------------------------------------------------------------
     def _run_trial(self, trial: int) -> TrialResult:
+        """Run one trial; unexpected exceptions become structured crashes.
+
+        ``KeyboardInterrupt`` is always re-raised (an interrupt is a user
+        action, never an outcome); any other unexpected exception is
+        wrapped in a :class:`TrialCrashError` carrying the trial index
+        and derived seed so drivers can report *which* trial died.
+        """
+        try:
+            return self._classify_trial(trial)
+        except KeyboardInterrupt:
+            raise
+        except UncorrectableError as exc:
+            # A DUE escaping the classification paths below would be a
+            # harness bug; surface it as a crash, not a hang or mis-count.
+            raise TrialCrashError(
+                f"trial {trial}: unhandled machine check: {exc}",
+                trial_index=trial,
+                seed=self.config.trial_seed(trial),
+            ) from exc
+        except TrialCrashError:
+            raise
+        except Exception as exc:
+            raise TrialCrashError(
+                f"trial {trial} crashed: {type(exc).__name__}: {exc}",
+                trial_index=trial,
+                seed=self.config.trial_seed(trial),
+            ) from exc
+
+    def _classify_trial(self, trial: int) -> TrialResult:
         cfg = self.config
         hierarchy = MemoryHierarchy(protection_factory=cfg.scheme_factory)
         golden = GoldenMemory()

@@ -1,0 +1,54 @@
+"""Picklable protection-scheme factories for campaign configs.
+
+Campaign workers run in ``spawn``-context subprocesses, so a
+:class:`~repro.faults.campaign.CampaignConfig` must survive pickling —
+which the ad-hoc closures previously built by every driver did not.
+:class:`SchemeFactory` is the shared, picklable replacement: it names a
+scheme, builds a fresh protection instance per cache level, pickles by
+value, and has a stable ``repr`` so checkpoint digests of the same
+campaign match across processes and runs.
+"""
+
+from __future__ import annotations
+
+from ..cppc import CppcProtection
+from ..errors import ConfigurationError
+from ..memsim import NoProtection, ParityProtection, SecdedProtection
+from ..memsim.protection import CacheProtection
+
+SCHEMES = ("none", "parity", "secded", "cppc")
+
+
+class SchemeFactory:
+    """Builds a named protection scheme; safe to pickle into workers."""
+
+    def __init__(self, scheme: str):
+        if scheme not in SCHEMES:
+            raise ConfigurationError(
+                f"unknown protection scheme {scheme!r}; expected one of "
+                f"{SCHEMES}"
+            )
+        self.scheme = scheme
+
+    def __call__(self, level: str, unit_bits: int) -> CacheProtection:
+        if self.scheme == "cppc":
+            return CppcProtection(data_bits=unit_bits)
+        if self.scheme == "parity":
+            return ParityProtection(data_bits=unit_bits)
+        if self.scheme == "secded":
+            return SecdedProtection(data_bits=unit_bits)
+        return NoProtection()
+
+    def __repr__(self) -> str:
+        return f"SchemeFactory({self.scheme!r})"
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, SchemeFactory) and other.scheme == self.scheme
+
+    def __hash__(self) -> int:
+        return hash((type(self).__name__, self.scheme))
+
+
+def scheme_factory(name: str) -> SchemeFactory:
+    """Per-level protection factory for one scheme name."""
+    return SchemeFactory(name)

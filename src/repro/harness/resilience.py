@@ -13,29 +13,18 @@ from __future__ import annotations
 import dataclasses
 from typing import Dict, List, Tuple
 
-from ..cppc import CppcProtection
 from ..faults import CampaignConfig, FaultCampaign, Outcome
 from ..faults.fitrate import FitEstimate, estimate_fit
-from ..memsim import NoProtection, ParityProtection, SecdedProtection
+from ..faults.schemes import SCHEMES, scheme_factory
 from ..memsim.hierarchy import PAPER_CONFIG
 from .reporting import format_table
 
-SCHEMES = ("none", "parity", "secded", "cppc")
-
-
-def scheme_factory(name: str):
-    """Protection factory usable with campaigns and hierarchies."""
-
-    def factory(level, unit_bits):
-        if name == "cppc":
-            return CppcProtection(data_bits=unit_bits)
-        if name == "parity":
-            return ParityProtection(data_bits=unit_bits)
-        if name == "secded":
-            return SecdedProtection(data_bits=unit_bits)
-        return NoProtection()
-
-    return factory
+__all__ = [
+    "SCHEMES",
+    "ResilienceMatrix",
+    "resilience_matrix",
+    "scheme_factory",
+]
 
 
 @dataclasses.dataclass
@@ -85,8 +74,17 @@ def resilience_matrix(
     warmup_references: int = 1500,
     post_fault_references: int = 1000,
     seed: int = 0,
+    runtime=None,
 ) -> ResilienceMatrix:
-    """Run the full scheme x fault-kind campaign grid."""
+    """Run the full scheme x fault-kind campaign grid.
+
+    ``runtime`` (a :class:`repro.runtime.CampaignRuntime`) runs every
+    cell's trials on isolated worker subprocesses with timeout/retry
+    and — given a checkpoint directory — makes the whole grid resumable;
+    its worker lanes are shared across cells, so startup cost is paid
+    once.  Cell results are identical either way: trial seeds depend
+    only on the cell config, never on scheduling.
+    """
     dirty_bits = int(
         PAPER_CONFIG.l1d.size_bytes * 8 * 0.16  # the paper's L1 dirty share
     )
@@ -105,7 +103,7 @@ def resilience_matrix(
                 dirty_only=(fault == "temporal"),
                 seed=seed,
             )
-            result = FaultCampaign(config).run()
+            result = FaultCampaign(config).run(runtime=runtime)
             rates[(scheme, fault)] = result.summary()
             fits[(scheme, fault)] = estimate_fit(
                 result, resident_bits=dirty_bits

@@ -50,31 +50,48 @@ class SweepResult:
         return [row[index] for row in self.rows]
 
 
+def _l1_size_row(size_kb: int, benchmark: str, n_references: int, seed: int):
+    """One row of the L1-capacity sweep.
+
+    Module-level (not a closure) so :class:`repro.runtime.TrialExecutor`
+    workers can unpickle it; returns plain floats so the row crosses the
+    process boundary unchanged.
+    """
+    geometry = CacheGeometry(
+        size_bytes=size_kb * KB, ways=2, block_bytes=32, unit_bytes=8,
+        latency_cycles=2,
+    )
+    config = HierarchyConfig(l1d=geometry, l2=PAPER_CONFIG.l2)
+    run = run_benchmark(benchmark, n_references, seed, config)
+    energies = normalized_energies(run.l1, geometry)
+    return [
+        size_kb,
+        float(run.l1.miss_rate),
+        float(run.l1.dirty_fraction),
+        float(energies["cppc"]),
+        float(energies["2d-parity"]),
+    ]
+
+
 def sweep_l1_size(
     sizes_kb=(16, 32, 64),
     benchmark: str = "gcc",
     n_references: int = 20_000,
     seed: int = 0,
+    runtime=None,
 ) -> SweepResult:
-    """L1 capacity sweep: miss rate, dirty residency, CPPC energy."""
-    rows = []
-    for size_kb in sizes_kb:
-        geometry = CacheGeometry(
-            size_bytes=size_kb * KB, ways=2, block_bytes=32, unit_bytes=8,
-            latency_cycles=2,
-        )
-        config = HierarchyConfig(l1d=geometry, l2=PAPER_CONFIG.l2)
-        run = run_benchmark(benchmark, n_references, seed, config)
-        energies = normalized_energies(run.l1, geometry)
-        rows.append(
-            [
-                size_kb,
-                run.l1.miss_rate,
-                run.l1.dirty_fraction,
-                energies["cppc"],
-                energies["2d-parity"],
-            ]
-        )
+    """L1 capacity sweep: miss rate, dirty residency, CPPC energy.
+
+    ``runtime`` (a :class:`repro.runtime.CampaignRuntime`) distributes
+    the per-size simulations across isolated worker subprocesses with
+    timeout/retry; rows are identical to the sequential path because
+    each row's seed is independent of execution order.
+    """
+    argses = [(size_kb, benchmark, n_references, seed) for size_kb in sizes_kb]
+    if runtime is None:
+        rows = [_l1_size_row(*args) for args in argses]
+    else:
+        rows = runtime.map(_l1_size_row, argses, seed=seed)
     return SweepResult(
         headers=["L1 KB", "miss rate", "dirty fraction", "cppc energy",
                  "2d energy"],

@@ -1,0 +1,56 @@
+"""Pathological worker tasks used by the runtime's own tests and smokes.
+
+Test modules are not importable inside ``spawn`` workers (they are not
+on the child's ``sys.path``), so the misbehaving task functions the
+executor tests need — hangs, crashes, self-kills — live here, inside the
+package, where any worker can unpickle them.  Nothing in the library
+calls these.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+from pathlib import Path
+
+
+def echo(value):
+    """Return ``value`` unchanged (happy-path task)."""
+    return value
+
+
+def slow_echo(value, delay_s: float):
+    """Return ``value`` after sleeping ``delay_s`` seconds."""
+    time.sleep(delay_s)
+    return value
+
+
+def hang(seconds: float = 3600.0) -> None:
+    """Wedge the worker: sleep far longer than any sane trial timeout."""
+    time.sleep(seconds)
+
+
+def crash(message: str = "synthetic crash"):
+    """Raise a plain exception inside the worker."""
+    raise ValueError(message)
+
+
+def kill_self() -> None:
+    """Die the way a SIGKILLed or segfaulting worker does."""
+    os.kill(os.getpid(), signal.SIGKILL)
+
+
+def flaky(marker_dir: str, succeed_on_attempt: int, value):
+    """Fail (by crashing the process) until attempt ``succeed_on_attempt``.
+
+    Attempts are counted with marker files under ``marker_dir`` so the
+    count survives worker replacement.
+    """
+    directory = Path(marker_dir)
+    directory.mkdir(parents=True, exist_ok=True)
+    attempt = len(list(directory.glob("attempt-*"))) + 1
+    (directory / f"attempt-{attempt}").touch()
+    if attempt < succeed_on_attempt:
+        os.kill(os.getpid(), signal.SIGKILL)
+    return value

@@ -1,0 +1,252 @@
+"""Crash-safe campaign checkpoints: append-only JSONL plus a manifest.
+
+Layout of one checkpoint directory (one campaign configuration)::
+
+    <dir>/MANIFEST.json   # written once, atomically (tmp + os.replace)
+    <dir>/trials.jsonl    # one fsync'd record per finished trial
+
+Every record carries the ``(config_digest, trial_index, seed)`` identity
+of its trial plus a content checksum.  A SIGKILL can tear at most the
+final record (appends are flushed and fsync'd in order), so ``load``
+silently drops a torn *tail* line but treats corruption anywhere earlier
+— or a manifest that does not match the campaign being resumed — as
+:class:`~repro.errors.CheckpointCorruptError`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import threading
+from pathlib import Path
+from typing import Dict, Optional
+
+from ..errors import CheckpointCorruptError, ConfigurationError
+
+FORMAT_VERSION = 1
+MANIFEST_NAME = "MANIFEST.json"
+LOG_NAME = "trials.jsonl"
+
+
+def _canonical(payload: dict) -> str:
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def _checksum(payload: dict) -> str:
+    return hashlib.sha256(_canonical(payload).encode("utf-8")).hexdigest()[:16]
+
+
+def _factory_token(factory) -> str:
+    """Stable identity of a scheme factory for digest purposes."""
+    qualname = getattr(factory, "__qualname__", None)
+    if qualname is not None:
+        return f"{getattr(factory, '__module__', '?')}.{qualname}"
+    return repr(factory)
+
+
+def campaign_digest(config) -> str:
+    """Stable hex digest identifying one :class:`CampaignConfig`.
+
+    Two processes building the same campaign must agree on this digest,
+    so it hashes a canonical JSON view of the config — with the scheme
+    factory reduced to its stable repr/qualified name — rather than any
+    pickle bytes.
+    """
+    view = {
+        "scheme": _factory_token(config.scheme_factory),
+        "benchmark": config.benchmark,
+        "trials": config.trials,
+        "warmup_references": config.warmup_references,
+        "post_fault_references": config.post_fault_references,
+        "fault_kind": config.fault_kind,
+        "spatial_shape": list(config.spatial_shape),
+        "dirty_only": config.dirty_only,
+        "target_level": config.target_level,
+        "seed": repr(config.seed),
+    }
+    return hashlib.sha256(_canonical(view).encode("utf-8")).hexdigest()
+
+
+@dataclasses.dataclass(frozen=True)
+class CheckpointRecord:
+    """One durably recorded trial."""
+
+    trial_index: int
+    seed: int
+    kind: str  # "result" or "failure"
+    payload: dict
+
+
+class CheckpointStore:
+    """Append-only, fsync'd store of finished trials for one campaign."""
+
+    def __init__(
+        self,
+        directory,
+        *,
+        config_digest: str,
+        resume: bool = False,
+    ):
+        self.directory = Path(directory)
+        self.config_digest = config_digest
+        self._lock = threading.Lock()
+        self._log: Optional[object] = None
+        manifest_path = self.directory / MANIFEST_NAME
+        if manifest_path.exists():
+            if not resume:
+                raise ConfigurationError(
+                    f"checkpoint {self.directory} already exists; pass "
+                    "resume=True (--resume) to continue it or point at a "
+                    "fresh directory"
+                )
+            self._verify_manifest(manifest_path)
+        else:
+            if resume and self.directory.exists() and any(
+                self.directory.iterdir()
+            ):
+                raise CheckpointCorruptError(
+                    f"checkpoint {self.directory} has no manifest but is "
+                    "not empty"
+                )
+            self.directory.mkdir(parents=True, exist_ok=True)
+            self._write_manifest(manifest_path)
+
+    # ------------------------------------------------------------------
+    # Manifest
+    # ------------------------------------------------------------------
+    def _manifest_view(self) -> dict:
+        return {
+            "format_version": FORMAT_VERSION,
+            "config_digest": self.config_digest,
+            "log": LOG_NAME,
+        }
+
+    def _write_manifest(self, path: Path) -> None:
+        tmp = path.with_suffix(".tmp")
+        with open(tmp, "w", encoding="utf-8") as fh:
+            fh.write(_canonical(self._manifest_view()) + "\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+        self._fsync_directory()
+
+    def _verify_manifest(self, path: Path) -> None:
+        try:
+            with open(path, encoding="utf-8") as fh:
+                manifest = json.load(fh)
+        except (OSError, ValueError) as exc:
+            raise CheckpointCorruptError(
+                f"unreadable checkpoint manifest {path}: {exc}"
+            ) from exc
+        if manifest.get("format_version") != FORMAT_VERSION:
+            raise CheckpointCorruptError(
+                f"checkpoint {path} has format version "
+                f"{manifest.get('format_version')!r}; expected "
+                f"{FORMAT_VERSION}"
+            )
+        if manifest.get("config_digest") != self.config_digest:
+            raise CheckpointCorruptError(
+                f"checkpoint {self.directory} belongs to a different "
+                f"campaign (digest {manifest.get('config_digest')!r} != "
+                f"{self.config_digest!r})"
+            )
+
+    def _fsync_directory(self) -> None:
+        try:
+            fd = os.open(self.directory, os.O_RDONLY)
+        except OSError:  # pragma: no cover - platform without dir fds
+            return
+        try:
+            os.fsync(fd)
+        finally:
+            os.close(fd)
+
+    # ------------------------------------------------------------------
+    # Log
+    # ------------------------------------------------------------------
+    @property
+    def log_path(self) -> Path:
+        """Path of the append-only trial log."""
+        return self.directory / LOG_NAME
+
+    def record(
+        self, trial_index: int, seed: int, kind: str, payload: dict
+    ) -> None:
+        """Durably append one finished trial (append + flush + fsync)."""
+        body = {
+            "config_digest": self.config_digest,
+            "trial_index": trial_index,
+            "seed": seed,
+            "kind": kind,
+            "payload": payload,
+        }
+        line = _canonical({**body, "crc": _checksum(body)})
+        with self._lock:
+            if self._log is None:
+                self._log = open(self.log_path, "a", encoding="utf-8")
+            self._log.write(line + "\n")
+            self._log.flush()
+            os.fsync(self._log.fileno())
+
+    def load(self) -> Dict[int, CheckpointRecord]:
+        """Read back every trustworthy record, keyed by trial index.
+
+        A torn final line (the one write a SIGKILL can interrupt) is
+        dropped; a bad record anywhere before it raises
+        :class:`CheckpointCorruptError`.
+        """
+        records: Dict[int, CheckpointRecord] = {}
+        if not self.log_path.exists():
+            return records
+        with open(self.log_path, encoding="utf-8") as fh:
+            lines = fh.read().split("\n")
+        if lines and lines[-1] == "":
+            lines.pop()
+        for lineno, line in enumerate(lines):
+            try:
+                record = self._parse_line(line)
+            except CheckpointCorruptError:
+                if lineno == len(lines) - 1:
+                    break  # torn tail from a crash mid-append
+                raise CheckpointCorruptError(
+                    f"corrupt checkpoint record at "
+                    f"{self.log_path}:{lineno + 1}"
+                ) from None
+            records[record.trial_index] = record
+        return records
+
+    def _parse_line(self, line: str) -> CheckpointRecord:
+        try:
+            raw = json.loads(line)
+        except ValueError as exc:
+            raise CheckpointCorruptError(f"unparseable record: {exc}") from exc
+        if not isinstance(raw, dict):
+            raise CheckpointCorruptError("record is not an object")
+        body = {k: v for k, v in raw.items() if k != "crc"}
+        if raw.get("crc") != _checksum(body):
+            raise CheckpointCorruptError("record checksum mismatch")
+        if body.get("config_digest") != self.config_digest:
+            raise CheckpointCorruptError(
+                "record belongs to a different campaign"
+            )
+        return CheckpointRecord(
+            trial_index=body["trial_index"],
+            seed=body["seed"],
+            kind=body["kind"],
+            payload=body["payload"],
+        )
+
+    def close(self) -> None:
+        """Close the log file handle (records already durable)."""
+        with self._lock:
+            if self._log is not None:
+                self._log.close()
+                self._log = None
+
+    def __enter__(self) -> "CheckpointStore":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,0 +1,56 @@
+"""Retry policy with exponential backoff and deterministic jitter.
+
+Crashed or timed-out trials are re-run up to ``max_attempts`` times.  The
+backoff between attempts doubles from ``base_delay_s`` (capped at
+``max_delay_s``) and is stretched by a jitter factor derived from the
+*trial seed* via :func:`repro.util.rng.split_seed` — deterministic, so a
+resumed campaign replays the identical schedule, yet decorrelated across
+trials so a thundering herd of retries still spreads out.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from ..errors import ConfigurationError
+from ..util.rng import Seed, make_rng, split_seed
+
+
+@dataclasses.dataclass(frozen=True)
+class RetryPolicy:
+    """How many times to re-run a failed trial, and how long to wait.
+
+    Attributes:
+        max_attempts: total attempts per trial (1 = never retry).
+        base_delay_s: backoff before the first retry.
+        max_delay_s: cap on the exponential backoff.
+        jitter: maximum fractional stretch applied to each delay
+            (0.25 means up to +25%).
+    """
+
+    max_attempts: int = 3
+    base_delay_s: float = 0.1
+    max_delay_s: float = 5.0
+    jitter: float = 0.25
+
+    def __post_init__(self):
+        if self.max_attempts < 1:
+            raise ConfigurationError("max_attempts must be >= 1")
+        if self.base_delay_s < 0 or self.max_delay_s < 0:
+            raise ConfigurationError("backoff delays must be >= 0")
+        if not 0 <= self.jitter <= 1:
+            raise ConfigurationError("jitter must be within [0, 1]")
+
+    def backoff_s(self, attempt: int, seed: Seed) -> float:
+        """Delay before the retry that follows failed attempt ``attempt``.
+
+        ``attempt`` is 1-based; the jitter draw depends only on
+        ``(seed, attempt)``, never on shared RNG state.
+        """
+        if attempt < 1:
+            raise ConfigurationError("attempt is 1-based")
+        delay = min(self.max_delay_s, self.base_delay_s * 2 ** (attempt - 1))
+        if self.jitter == 0 or delay == 0:
+            return delay
+        draw = make_rng(split_seed(seed, "retry-jitter", attempt)).random()
+        return delay * (1.0 + self.jitter * draw)

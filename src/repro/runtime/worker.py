@@ -1,0 +1,57 @@
+"""Subprocess entry points for the trial runtime.
+
+Everything here is module-level so ``spawn``-context workers can unpickle
+it by qualified name.  Workers receive fully picklable payloads (a
+:class:`~repro.faults.campaign.CampaignConfig` built with
+:class:`~repro.faults.schemes.SchemeFactory`, plus a trial index) and
+return plain dataclasses.
+"""
+
+from __future__ import annotations
+
+import signal
+import sys
+from typing import Sequence
+
+
+def initialize_worker(extra_sys_path: Sequence[str] = ()) -> None:
+    """Per-worker setup: import path and signal disposition.
+
+    ``spawn`` children rebuild ``sys.path`` from the environment, so the
+    parent passes its own package location along for installs that rely
+    on ``PYTHONPATH`` tricks.  SIGINT is ignored in workers: a Ctrl-C
+    belongs to the driver, which reaps workers explicitly.
+    """
+    for path in extra_sys_path:
+        if path not in sys.path:
+            sys.path.insert(0, path)
+    try:
+        signal.signal(signal.SIGINT, signal.SIG_IGN)
+    except (ValueError, OSError):  # pragma: no cover - exotic platforms
+        pass
+
+
+def package_sys_path() -> list:
+    """The parent-side path entries workers need to import ``repro``."""
+    import os
+
+    import repro
+
+    return [os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))]
+
+
+def noop() -> None:
+    """Warm-up task: proves a worker is alive and has imported repro."""
+    return None
+
+
+def run_campaign_trial(config, trial_index: int):
+    """Execute one fault-injection trial in this worker.
+
+    Runs the exact same :meth:`FaultCampaign._run_trial` as the
+    sequential in-process path, so a campaign's per-trial outcomes do not
+    depend on where (or in what order) its trials execute.
+    """
+    from ..faults.campaign import FaultCampaign
+
+    return FaultCampaign(config)._run_trial(trial_index)

@@ -1,0 +1,65 @@
+"""Shared CLI conventions for the ``repro.tools`` entry points.
+
+Exit codes (uniform across ``run_campaign``, ``run_scorecard``,
+``run_sensitivity``):
+
+* ``EXIT_OK`` (0) — everything ran and every result is complete.
+* ``EXIT_FATAL`` (1) — the run could not produce usable results.
+* ``EXIT_PARTIAL`` (3) — results exist but are partial or have
+  explicit failures (abandoned trials, failing scorecard claims).
+
+``--json`` support: every tool that accepts it emits one
+machine-readable summary object via :func:`emit_json` — to stdout with
+``--json``, or to a file with ``--json PATH``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Optional
+
+EXIT_OK = 0
+EXIT_FATAL = 1
+EXIT_PARTIAL = 3
+
+
+def add_json_argument(parser: argparse.ArgumentParser) -> None:
+    """Install the shared ``--json [PATH]`` flag on ``parser``."""
+    parser.add_argument(
+        "--json",
+        nargs="?",
+        const="-",
+        default=None,
+        metavar="PATH",
+        help="emit a machine-readable JSON summary (to stdout, or to PATH)",
+    )
+
+
+def emit_json(destination: Optional[str], payload: dict) -> None:
+    """Write ``payload`` as JSON to stdout (``-``) or a file; no-op if
+    ``destination`` is None (flag not given)."""
+    if destination is None:
+        return
+    text = json.dumps(payload, indent=2, sort_keys=True)
+    if destination == "-":
+        print(text)
+    else:
+        with open(destination, "w", encoding="utf-8") as fh:
+            fh.write(text + "\n")
+
+
+def resolve_exit(*, fatal: bool = False, partial: bool = False) -> int:
+    """Map an outcome onto the shared exit-code convention."""
+    if fatal:
+        return EXIT_FATAL
+    if partial:
+        return EXIT_PARTIAL
+    return EXIT_OK
+
+
+def fail(message: str) -> int:
+    """Print ``message`` to stderr and return ``EXIT_FATAL``."""
+    print(message, file=sys.stderr)
+    return EXIT_FATAL

@@ -3,34 +3,29 @@
 ::
 
     python -m repro.tools.run_campaign cppc --trials 50 --fault spatial
+
+Crash-safe mode: any of ``--jobs/--timeout/--retries/--checkpoint-dir/
+--resume`` routes trials through :mod:`repro.runtime` — each trial runs
+in a worker subprocess with a wall-clock timeout and retry/backoff, every
+finished trial is checkpointed, and an interrupted campaign resumed with
+``--resume`` reproduces the uninterrupted result bit-identically.
+
+Exit codes follow :mod:`repro.tools._cli`: 0 complete, 3 partial (some
+trials abandoned after retries), 1 fatal.
 """
 
 from __future__ import annotations
 
 import argparse
+import dataclasses
 from typing import Optional, Sequence
 
-from ..cppc import CppcProtection
+from ..errors import ReproError
 from ..faults import CampaignConfig, FaultCampaign, Outcome
-from ..memsim import NoProtection, ParityProtection, SecdedProtection
+from ..faults.schemes import SCHEMES, scheme_factory
+from ..runtime import CampaignRuntime, RetryPolicy
 from ..workloads import benchmark_names
-
-SCHEMES = ("cppc", "parity", "secded", "none")
-
-
-def scheme_factory(name: str):
-    """Per-level protection factory for one scheme name."""
-
-    def factory(level, unit_bits):
-        if name == "cppc":
-            return CppcProtection(data_bits=unit_bits)
-        if name == "parity":
-            return ParityProtection(data_bits=unit_bits)
-        if name == "secded":
-            return SecdedProtection(data_bits=unit_bits)
-        return NoProtection()
-
-    return factory
+from ._cli import add_json_argument, emit_json, fail, resolve_exit
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -61,7 +56,60 @@ def build_parser() -> argparse.ArgumentParser:
         "--dirty-only", action="store_true",
         help="restrict temporal faults to dirty data",
     )
+    runtime = parser.add_argument_group(
+        "crash-safe runtime",
+        "run trials in isolated worker subprocesses with timeout, retry, "
+        "and resumable checkpoints",
+    )
+    runtime.add_argument(
+        "--jobs", "-j", type=int, default=None, metavar="N",
+        help="worker subprocesses (default: in-process sequential loop)",
+    )
+    runtime.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="per-trial wall-clock budget; a wedged trial is killed and "
+             "classified TRIAL_TIMEOUT",
+    )
+    runtime.add_argument(
+        "--retries", type=int, default=None, metavar="N",
+        help="extra attempts for crashed/timed-out trials (default: 2)",
+    )
+    runtime.add_argument(
+        "--checkpoint-dir", default=None, metavar="DIR",
+        help="record every finished trial here (JSONL + manifest), "
+             "keyed by config digest",
+    )
+    runtime.add_argument(
+        "--resume", action="store_true",
+        help="skip trials already recorded under --checkpoint-dir",
+    )
+    add_json_argument(parser)
     return parser
+
+
+def _wants_runtime(args) -> bool:
+    return any(
+        value is not None
+        for value in (args.jobs, args.timeout, args.retries,
+                      args.checkpoint_dir)
+    ) or args.resume
+
+
+def _summary_payload(args, result) -> dict:
+    return {
+        "scheme": args.scheme,
+        "benchmark": args.benchmark,
+        "fault": args.fault,
+        "level": args.level,
+        "seed": args.seed,
+        "trials": result.config.trials,
+        "completed": result.completed,
+        "failed": result.failed,
+        "counts": {o.value: result.counts[o] for o in Outcome},
+        "rates": result.summary(),
+        "failures": [dataclasses.asdict(f) for f in result.failures],
+        "complete": result.complete,
+    }
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -78,14 +126,40 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         target_level=args.level,
         seed=args.seed,
     )
-    result = FaultCampaign(config).run()
+    try:
+        if _wants_runtime(args):
+            retry = (
+                RetryPolicy(max_attempts=args.retries + 1)
+                if args.retries is not None
+                else RetryPolicy()
+            )
+            with CampaignRuntime(
+                jobs=args.jobs or 1,
+                timeout_s=args.timeout,
+                retry=retry,
+                checkpoint_dir=args.checkpoint_dir,
+                resume=args.resume,
+            ) as runtime:
+                result = FaultCampaign(config).run(runtime=runtime)
+        else:
+            result = FaultCampaign(config).run()
+    except ReproError as exc:
+        return fail(f"campaign failed: {exc}")
+
     counts = result.counts
     print(f"scheme={args.scheme} benchmark={args.benchmark} "
           f"fault={args.fault} level={args.level} trials={args.trials}")
     for outcome in Outcome:
         print(f"{outcome.value:>10s}: {counts[outcome]:4d} "
               f"({result.rate(outcome):6.1%})")
-    return 0
+    if result.failures:
+        print(f"{'failed':>10s}: {result.failed:4d} "
+              f"(abandoned after retries)")
+        for failure in result.failures:
+            print(f"            trial {failure.trial_index} "
+                  f"[{failure.kind} x{failure.attempts}]: {failure.message}")
+    emit_json(args.json, _summary_payload(args, result))
+    return resolve_exit(partial=not result.complete)
 
 
 if __name__ == "__main__":  # pragma: no cover

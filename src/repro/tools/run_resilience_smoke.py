@@ -1,0 +1,164 @@
+"""Kill-and-resume smoke: SIGKILL a campaign mid-run, resume, compare.
+
+::
+
+    python -m repro.tools.run_resilience_smoke --trials 8
+
+The CI campaign-resilience job runs this end-to-end drill:
+
+1. run a reference campaign to completion (checkpointed);
+2. launch the identical campaign as a child ``run_campaign`` process
+   against a second checkpoint directory, wait until at least one trial
+   is durably recorded, then SIGKILL the whole process tree;
+3. resume the interrupted campaign with ``--resume``;
+4. assert the resumed :class:`CampaignResult` summary is bit-identical
+   to the reference and that the checkpoint recorded fewer trials than
+   the campaign total before the kill (i.e. the kill interrupted real
+   work).
+
+Exit code 0 on success, 1 on any mismatch (per :mod:`repro.tools._cli`).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+from typing import Optional, Sequence
+
+from ..faults import CampaignConfig, FaultCampaign, scheme_factory
+from ..runtime import CampaignRuntime, campaign_digest
+from ._cli import EXIT_OK, fail
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-run-resilience-smoke",
+        description="SIGKILL a checkpointed campaign mid-run and prove "
+        "--resume reproduces the uninterrupted result.",
+    )
+    parser.add_argument("--scheme", default="parity")
+    parser.add_argument("--benchmark", default="gzip")
+    parser.add_argument("--trials", type=int, default=8)
+    parser.add_argument("--warmup", type=int, default=800)
+    parser.add_argument("--post", type=int, default=600)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--workdir", default=None,
+        help="scratch directory (default: a fresh temp dir)",
+    )
+    parser.add_argument(
+        "--kill-after-records", type=int, default=1,
+        help="SIGKILL once this many trials are durably recorded",
+    )
+    return parser
+
+
+def _campaign_args(args, checkpoint_dir: Path) -> list:
+    return [
+        sys.executable, "-m", "repro.tools.run_campaign", args.scheme,
+        "--benchmark", args.benchmark,
+        "--trials", str(args.trials),
+        "--warmup", str(args.warmup),
+        "--post", str(args.post),
+        "--seed", str(args.seed),
+        "--dirty-only",
+        "--jobs", "1",
+        "--checkpoint-dir", str(checkpoint_dir),
+    ]
+
+
+def _count_records(log_path: Path) -> int:
+    if not log_path.exists():
+        return 0
+    return sum(1 for line in log_path.read_text().splitlines() if line)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    workdir = Path(args.workdir or tempfile.mkdtemp(prefix="repro-smoke-"))
+    workdir.mkdir(parents=True, exist_ok=True)
+
+    config = CampaignConfig(
+        scheme_factory=scheme_factory(args.scheme),
+        benchmark=args.benchmark,
+        trials=args.trials,
+        warmup_references=args.warmup,
+        post_fault_references=args.post,
+        dirty_only=True,
+        seed=args.seed,
+    )
+    digest = campaign_digest(config)
+
+    # 1. Uninterrupted reference run.
+    with CampaignRuntime(
+        jobs=1, checkpoint_dir=workdir / "reference"
+    ) as runtime:
+        reference = FaultCampaign(config).run(runtime=runtime)
+    if not reference.complete:
+        return fail("reference campaign did not complete")
+    print(f"reference summary: {reference.summary()}")
+
+    # 2. Launch the same campaign as a child process and SIGKILL it once
+    #    at least --kill-after-records trials are durable.
+    interrupted_dir = workdir / "interrupted"
+    log_path = interrupted_dir / digest[:16] / "trials.jsonl"
+    child = subprocess.Popen(
+        _campaign_args(args, interrupted_dir),
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+        env=os.environ.copy(),
+    )
+    try:
+        deadline = time.monotonic() + 60
+        while time.monotonic() < deadline:
+            if _count_records(log_path) >= args.kill_after_records:
+                break
+            if child.poll() is not None:
+                break
+            time.sleep(0.05)
+        if child.poll() is not None:
+            return fail(
+                "campaign finished before it could be killed; increase "
+                "--trials or workload size"
+            )
+        child.send_signal(signal.SIGKILL)
+        child.wait(timeout=30)
+    finally:
+        if child.poll() is None:  # pragma: no cover - cleanup path
+            child.kill()
+            child.wait(timeout=30)
+
+    recorded = _count_records(log_path)
+    print(f"killed child after {recorded} durable trial(s)")
+    if recorded >= args.trials:
+        return fail("kill landed too late: every trial was already recorded")
+
+    # 3. Resume.
+    with CampaignRuntime(
+        jobs=1, checkpoint_dir=interrupted_dir, resume=True
+    ) as runtime:
+        resumed = FaultCampaign(config).run(runtime=runtime)
+
+    # 4. Bit-identical equivalence: same per-trial outcomes, same rates.
+    reference_trials = [vars(t) for t in reference.trials]
+    resumed_trials = [vars(t) for t in resumed.trials]
+    if resumed_trials != reference_trials:
+        return fail("resumed per-trial outcomes differ from reference")
+    if resumed.summary() != reference.summary():
+        return fail("resumed summary differs from reference")
+    if resumed.failures or not resumed.complete:
+        return fail("resumed campaign is not complete")
+    print("resume matches uninterrupted reference: "
+          + json.dumps(resumed.summary(), sort_keys=True))
+    return EXIT_OK
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -3,7 +3,12 @@
 ::
 
     python -m repro.tools.run_sensitivity interleaving
-    python -m repro.tools.run_sensitivity l1-size -n 20000
+    python -m repro.tools.run_sensitivity l1-size -n 20000 --jobs 4
+
+Exit codes follow :mod:`repro.tools._cli`: 0 complete, 3 when some
+sweeps failed but others produced rows (partial), 1 fatal.  ``--jobs``
+runs simulation-backed sweep rows on the crash-safe
+:mod:`repro.runtime` worker lanes.
 """
 
 from __future__ import annotations
@@ -11,8 +16,11 @@ from __future__ import annotations
 import argparse
 from typing import Optional, Sequence
 
+from ..errors import ReproError
 from ..harness import sweep_interleaving, sweep_l1_size, sweep_seu_rate
+from ..runtime import CampaignRuntime
 from ..workloads import benchmark_names
+from ._cli import add_json_argument, emit_json, fail, resolve_exit
 
 SWEEPS = ("l1-size", "seu-rate", "interleaving", "all")
 
@@ -31,22 +39,67 @@ def build_parser() -> argparse.ArgumentParser:
         "--benchmark", choices=benchmark_names(), default="gcc",
         help="workload for the L1-size sweep (default: gcc)",
     )
+    parser.add_argument(
+        "--jobs", "-j", type=int, default=None, metavar="N",
+        help="run simulation-backed sweep rows on N worker subprocesses",
+    )
+    parser.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="per-row wall-clock budget when --jobs is given",
+    )
+    add_json_argument(parser)
     return parser
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    selected = []
     if args.sweep in ("l1-size", "all"):
-        print(sweep_l1_size(
-            benchmark=args.benchmark, n_references=args.references
-        ).to_text())
-        print()
+        selected.append(
+            ("l1-size",
+             lambda runtime: sweep_l1_size(
+                 benchmark=args.benchmark, n_references=args.references,
+                 runtime=runtime,
+             ))
+        )
     if args.sweep in ("seu-rate", "all"):
-        print(sweep_seu_rate().to_text())
-        print()
+        selected.append(("seu-rate", lambda runtime: sweep_seu_rate()))
     if args.sweep in ("interleaving", "all"):
-        print(sweep_interleaving().to_text())
-    return 0
+        selected.append(
+            ("interleaving", lambda runtime: sweep_interleaving())
+        )
+
+    runtime = (
+        CampaignRuntime(jobs=args.jobs, timeout_s=args.timeout)
+        if args.jobs is not None
+        else None
+    )
+    results, errors = {}, {}
+    try:
+        for name, sweep in selected:
+            try:
+                result = sweep(runtime)
+            except ReproError as exc:
+                errors[name] = str(exc)
+                print(f"sweep {name} failed: {exc}")
+            else:
+                results[name] = result
+                print(result.to_text())
+            print()
+    finally:
+        if runtime is not None:
+            runtime.close()
+
+    emit_json(args.json, {
+        "sweeps": {
+            name: {"headers": r.headers, "rows": r.rows, "title": r.title}
+            for name, r in results.items()
+        },
+        "errors": errors,
+    })
+    if not results:
+        return fail("every requested sweep failed")
+    return resolve_exit(partial=bool(errors))
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -8,8 +8,13 @@ produces DUEs on dirty faults; an unprotected cache produces SDCs.
 import pytest
 
 from repro.cppc import CppcProtection
-from repro.errors import ConfigurationError
-from repro.faults import CampaignConfig, FaultCampaign, Outcome
+from repro.errors import ConfigurationError, TrialCrashError
+from repro.faults import (
+    CampaignConfig,
+    FaultCampaign,
+    Outcome,
+    TrialFailure,
+)
 from repro.memsim import NoProtection, ParityProtection, SecdedProtection
 
 
@@ -124,3 +129,73 @@ class TestResultApi:
         assert len(result.trials) == 5
         for trial in result.trials:
             assert isinstance(trial.outcome, Outcome)
+
+    def test_complete_and_failure_accounting(self):
+        result = run(cppc_factory, trials=5)
+        assert result.complete
+        assert result.completed == 5
+        assert result.failed == 0
+        result.failures.append(
+            TrialFailure(
+                trial_index=5, seed=0, kind="timeout", attempts=3
+            )
+        )
+        assert not result.complete
+        assert result.failed == 1
+        # Rates stay over completed trials only.
+        assert sum(result.summary().values()) == pytest.approx(1.0)
+
+
+class TestTrialCrashHandling:
+    """Satellite: unexpected trial exceptions become structured crashes
+    naming the trial; KeyboardInterrupt is never classified."""
+
+    def campaign(self):
+        return FaultCampaign(
+            CampaignConfig(scheme_factory=cppc_factory, trials=5)
+        )
+
+    def test_unexpected_exception_wrapped_with_trial_identity(
+        self, monkeypatch
+    ):
+        campaign = self.campaign()
+
+        def explode(trial):
+            raise ValueError("synthetic bug")
+
+        monkeypatch.setattr(campaign, "_classify_trial", explode)
+        with pytest.raises(TrialCrashError) as excinfo:
+            campaign._run_trial(3)
+        error = excinfo.value
+        assert error.trial_index == 3
+        assert error.seed == campaign.config.trial_seed(3)
+        assert "trial 3" in str(error)
+        assert "synthetic bug" in str(error)
+        assert isinstance(error.__cause__, ValueError)
+
+    def test_keyboard_interrupt_reraised_never_classified(self, monkeypatch):
+        campaign = self.campaign()
+
+        def interrupt(trial):
+            raise KeyboardInterrupt()
+
+        monkeypatch.setattr(campaign, "_classify_trial", interrupt)
+        with pytest.raises(KeyboardInterrupt):
+            campaign._run_trial(0)
+
+    def test_sequential_run_propagates_crash(self, monkeypatch):
+        campaign = self.campaign()
+
+        def explode(trial):
+            raise RuntimeError("dead")
+
+        monkeypatch.setattr(campaign, "_classify_trial", explode)
+        with pytest.raises(TrialCrashError) as excinfo:
+            campaign.run()
+        assert excinfo.value.trial_index == 0
+
+    def test_trial_seeds_split_deterministically(self):
+        config = self.campaign().config
+        seeds = [config.trial_seed(i) for i in range(5)]
+        assert len(set(seeds)) == 5
+        assert seeds == [config.trial_seed(i) for i in range(5)]

@@ -1,0 +1,212 @@
+"""End-to-end tests for crash-safe, resumable campaign execution.
+
+The acceptance drill: a campaign interrupted by SIGKILL and resumed via
+``--resume`` must yield a ``CampaignResult`` bit-identical to the same
+campaign run uninterrupted, and a hung trial must be reaped by the
+timeout, retried per policy, and surface as a structured failure without
+aborting the sweep.
+"""
+
+import pickle
+
+import pytest
+
+from repro.errors import (
+    CheckpointCorruptError,
+    ConfigurationError,
+    TrialCrashError,
+    TrialTimeoutError,
+)
+from repro.faults import (
+    CampaignConfig,
+    FaultCampaign,
+    TrialFailure,
+    scheme_factory,
+)
+from repro.runtime import CampaignRuntime, RetryPolicy, campaign_digest
+from repro.tools import run_resilience_smoke
+
+
+def small_config(**overrides):
+    params = dict(
+        scheme_factory=scheme_factory("parity"),
+        benchmark="gzip",
+        trials=5,
+        warmup_references=400,
+        post_fault_references=300,
+        dirty_only=True,
+    )
+    params.update(overrides)
+    return CampaignConfig(**params)
+
+
+def trial_dicts(result):
+    return [vars(t) for t in result.trials]
+
+
+class TestRuntimeEquivalence:
+    def test_worker_trials_match_sequential_loop(self):
+        config = small_config()
+        sequential = FaultCampaign(config).run()
+        with CampaignRuntime(jobs=2, timeout_s=120) as runtime:
+            parallel = FaultCampaign(config).run(runtime=runtime)
+        assert trial_dicts(parallel) == trial_dicts(sequential)
+        assert parallel.summary() == sequential.summary()
+        assert parallel.complete
+
+    def test_trial_seeds_are_order_independent(self):
+        config = small_config()
+        assert config.trial_seed(0) != config.trial_seed(1)
+        assert config.trial_seed(3) == small_config().trial_seed(3)
+
+
+class TestResume:
+    def test_interrupted_checkpoint_resumes_bit_identical(self, tmp_path):
+        config = small_config()
+        reference = FaultCampaign(config).run()
+
+        with CampaignRuntime(
+            jobs=1, checkpoint_dir=tmp_path / "ckpt"
+        ) as runtime:
+            first = FaultCampaign(config).run(runtime=runtime)
+        assert trial_dicts(first) == trial_dicts(reference)
+
+        # Simulate a SIGKILL that landed after two durable trials: chop
+        # the log, then resume.  (Only completed-trial records remain —
+        # exactly what a real kill leaves behind.)
+        log = next((tmp_path / "ckpt").glob("*/trials.jsonl"))
+        lines = log.read_text().splitlines()
+        log.write_text("\n".join(lines[:2]) + "\n")
+
+        with CampaignRuntime(
+            jobs=1, checkpoint_dir=tmp_path / "ckpt", resume=True
+        ) as runtime:
+            resumed = FaultCampaign(config).run(runtime=runtime)
+        assert trial_dicts(resumed) == trial_dicts(reference)
+        assert resumed.summary() == reference.summary()
+        assert resumed.complete
+
+    def test_resume_with_full_checkpoint_runs_nothing(self, tmp_path):
+        config = small_config(trials=3)
+        with CampaignRuntime(
+            jobs=1, checkpoint_dir=tmp_path / "ckpt"
+        ) as runtime:
+            first = FaultCampaign(config).run(runtime=runtime)
+        runtime = CampaignRuntime(
+            jobs=1, checkpoint_dir=tmp_path / "ckpt", resume=True
+        )
+        # No executor should even be needed: every trial is recorded.
+        resumed = FaultCampaign(config).run(runtime=runtime)
+        assert runtime._executor is None
+        assert trial_dicts(resumed) == trial_dicts(first)
+
+    def test_resume_requires_checkpoint_dir(self):
+        with pytest.raises(ConfigurationError):
+            CampaignRuntime(resume=True)
+
+    def test_resume_rejects_foreign_seeds(self, tmp_path):
+        config = small_config(trials=3)
+        with CampaignRuntime(
+            jobs=1, checkpoint_dir=tmp_path / "ckpt"
+        ) as runtime:
+            FaultCampaign(config).run(runtime=runtime)
+        # Rewrite every record under the same digest but a wrong seed.
+        log = next((tmp_path / "ckpt").glob("*/trials.jsonl"))
+        import json
+
+        from repro.runtime.checkpoint import _checksum
+
+        doctored = []
+        for line in log.read_text().splitlines():
+            record = json.loads(line)
+            record.pop("crc")
+            record["seed"] = record["seed"] ^ 1
+            doctored.append(
+                json.dumps({**record, "crc": _checksum(record)})
+            )
+        log.write_text("\n".join(doctored) + "\n")
+        with CampaignRuntime(
+            jobs=1, checkpoint_dir=tmp_path / "ckpt", resume=True
+        ) as runtime:
+            with pytest.raises(CheckpointCorruptError):
+                FaultCampaign(config).run(runtime=runtime)
+
+    def test_checkpoint_dirs_nest_by_config_digest(self, tmp_path):
+        config_a = small_config(trials=3, seed=0)
+        config_b = small_config(trials=3, seed=1)
+        with CampaignRuntime(
+            jobs=1, checkpoint_dir=tmp_path / "ckpt"
+        ) as runtime:
+            FaultCampaign(config_a).run(runtime=runtime)
+            FaultCampaign(config_b).run(runtime=runtime)
+        subdirs = {p.name for p in (tmp_path / "ckpt").iterdir()}
+        assert subdirs == {
+            campaign_digest(config_a)[:16],
+            campaign_digest(config_b)[:16],
+        }
+
+
+class TestGracefulDegradation:
+    def test_impossible_timeout_degrades_to_failures(self):
+        config = small_config(trials=2)
+        retry = RetryPolicy(max_attempts=2, base_delay_s=0.0, jitter=0.0)
+        with CampaignRuntime(
+            jobs=1, timeout_s=0.05, retry=retry
+        ) as runtime:
+            result = FaultCampaign(config).run(runtime=runtime)
+        assert result.trials == []
+        assert len(result.failures) == 2
+        for failure in result.failures:
+            assert isinstance(failure, TrialFailure)
+            assert failure.kind == "timeout"
+            assert failure.attempts == 2
+        assert not result.complete
+        assert result.failed == 2
+
+    def test_failures_are_checkpointed_and_resumed(self, tmp_path):
+        config = small_config(trials=2)
+        retry = RetryPolicy(max_attempts=1)
+        with CampaignRuntime(
+            jobs=1, timeout_s=0.05, retry=retry,
+            checkpoint_dir=tmp_path / "ckpt",
+        ) as runtime:
+            first = FaultCampaign(config).run(runtime=runtime)
+        assert first.failed == 2
+        runtime = CampaignRuntime(
+            jobs=1, checkpoint_dir=tmp_path / "ckpt", resume=True
+        )
+        resumed = FaultCampaign(config).run(runtime=runtime)
+        assert runtime._executor is None  # failures count as recorded
+        assert [vars(f) for f in resumed.failures] == [
+            vars(f) for f in first.failures
+        ]
+
+
+class TestStructuredErrors:
+    def test_runtime_errors_pickle_with_context(self):
+        crash = TrialCrashError("trial 7 died", trial_index=7, seed=123)
+        clone = pickle.loads(pickle.dumps(crash))
+        assert isinstance(clone, TrialCrashError)
+        assert clone.trial_index == 7
+        assert clone.seed == 123
+        assert "died" in str(clone)
+
+        timeout = TrialTimeoutError(
+            "too slow", trial_index=2, seed=5, timeout_s=1.5
+        )
+        clone = pickle.loads(pickle.dumps(timeout))
+        assert clone.timeout_s == 1.5
+        assert clone.trial_index == 2
+
+
+class TestKillAndResumeSmoke:
+    def test_sigkilled_campaign_resumes_identically(self, tmp_path):
+        rc = run_resilience_smoke.main(
+            [
+                "--trials", "6",
+                "--warmup", "700",
+                "--post", "500",
+                "--workdir", str(tmp_path),
+            ]
+        )
+        assert rc == 0

@@ -1,0 +1,144 @@
+"""Tests for the crash-safe checkpoint store and config digests."""
+
+import json
+
+import pytest
+
+from repro.errors import CheckpointCorruptError, ConfigurationError
+from repro.faults import CampaignConfig, scheme_factory
+from repro.runtime import CheckpointStore, campaign_digest
+
+DIGEST = "a" * 64
+
+
+def make_store(directory, *, digest=DIGEST, resume=False):
+    return CheckpointStore(directory, config_digest=digest, resume=resume)
+
+
+class TestRoundTrip:
+    def test_record_then_load(self, tmp_path):
+        store = make_store(tmp_path / "ckpt")
+        store.record(0, 111, "result", {"outcome": "benign"})
+        store.record(2, 333, "failure", {"kind": "timeout"})
+        store.close()
+        records = make_store(tmp_path / "ckpt", resume=True).load()
+        assert set(records) == {0, 2}
+        assert records[0].seed == 111
+        assert records[0].kind == "result"
+        assert records[0].payload == {"outcome": "benign"}
+        assert records[2].kind == "failure"
+
+    def test_duplicate_trial_keeps_latest(self, tmp_path):
+        store = make_store(tmp_path / "ckpt")
+        store.record(0, 1, "result", {"outcome": "benign"})
+        store.record(0, 1, "result", {"outcome": "due"})
+        store.close()
+        records = make_store(tmp_path / "ckpt", resume=True).load()
+        assert records[0].payload == {"outcome": "due"}
+
+    def test_empty_store_loads_empty(self, tmp_path):
+        store = make_store(tmp_path / "ckpt")
+        assert store.load() == {}
+
+
+class TestCrashSafety:
+    def test_torn_tail_line_is_dropped(self, tmp_path):
+        store = make_store(tmp_path / "ckpt")
+        store.record(0, 1, "result", {"outcome": "benign"})
+        store.record(1, 2, "result", {"outcome": "due"})
+        store.close()
+        log = tmp_path / "ckpt" / "trials.jsonl"
+        lines = log.read_text().splitlines()
+        log.write_text(lines[0] + "\n" + lines[1][: len(lines[1]) // 2])
+        records = make_store(tmp_path / "ckpt", resume=True).load()
+        assert set(records) == {0}
+
+    def test_corruption_before_tail_raises(self, tmp_path):
+        store = make_store(tmp_path / "ckpt")
+        store.record(0, 1, "result", {"outcome": "benign"})
+        store.record(1, 2, "result", {"outcome": "due"})
+        store.close()
+        log = tmp_path / "ckpt" / "trials.jsonl"
+        lines = log.read_text().splitlines()
+        log.write_text("garbage{{{\n" + lines[1] + "\n")
+        with pytest.raises(CheckpointCorruptError):
+            make_store(tmp_path / "ckpt", resume=True).load()
+
+    def test_tampered_record_fails_checksum(self, tmp_path):
+        store = make_store(tmp_path / "ckpt")
+        store.record(0, 1, "result", {"outcome": "benign"})
+        store.record(1, 2, "result", {"outcome": "due"})
+        store.close()
+        log = tmp_path / "ckpt" / "trials.jsonl"
+        lines = log.read_text().splitlines()
+        tampered = json.loads(lines[0])
+        tampered["payload"]["outcome"] = "sdc"  # flip without re-checksumming
+        log.write_text(json.dumps(tampered) + "\n" + lines[1] + "\n")
+        with pytest.raises(CheckpointCorruptError):
+            make_store(tmp_path / "ckpt", resume=True).load()
+
+
+class TestManifest:
+    def test_refuses_existing_dir_without_resume(self, tmp_path):
+        make_store(tmp_path / "ckpt").close()
+        with pytest.raises(ConfigurationError):
+            make_store(tmp_path / "ckpt")
+
+    def test_refuses_digest_mismatch(self, tmp_path):
+        make_store(tmp_path / "ckpt", digest="a" * 64).close()
+        with pytest.raises(CheckpointCorruptError):
+            make_store(tmp_path / "ckpt", digest="b" * 64, resume=True)
+
+    def test_refuses_manifestless_nonempty_dir(self, tmp_path):
+        directory = tmp_path / "ckpt"
+        directory.mkdir()
+        (directory / "trials.jsonl").write_text("stale\n")
+        with pytest.raises(CheckpointCorruptError):
+            make_store(directory, resume=True)
+
+    def test_record_from_other_campaign_is_rejected(self, tmp_path):
+        store = make_store(tmp_path / "a", digest="a" * 64)
+        store.record(0, 1, "result", {"outcome": "benign"})
+        store.record(1, 2, "result", {"outcome": "benign"})
+        store.close()
+        foreign = tmp_path / "b"
+        make_store(foreign, digest="b" * 64).close()
+        (foreign / "trials.jsonl").write_text(
+            (tmp_path / "a" / "trials.jsonl").read_text()
+        )
+        with pytest.raises(CheckpointCorruptError):
+            make_store(foreign, digest="b" * 64, resume=True).load()
+
+
+class TestCampaignDigest:
+    def config(self, **overrides):
+        params = dict(
+            scheme_factory=scheme_factory("cppc"),
+            benchmark="gzip",
+            trials=5,
+            seed=3,
+        )
+        params.update(overrides)
+        return CampaignConfig(**params)
+
+    def test_stable_across_equal_configs(self):
+        assert campaign_digest(self.config()) == campaign_digest(self.config())
+
+    def test_sensitive_to_every_knob(self):
+        base = campaign_digest(self.config())
+        assert campaign_digest(self.config(seed=4)) != base
+        assert campaign_digest(self.config(trials=6)) != base
+        assert campaign_digest(self.config(benchmark="gcc")) != base
+        assert (
+            campaign_digest(
+                self.config(scheme_factory=scheme_factory("parity"))
+            )
+            != base
+        )
+
+    def test_closure_factories_still_digest(self):
+        def factory(level, unit_bits):
+            return None
+
+        digest = campaign_digest(self.config(scheme_factory=factory))
+        assert digest == campaign_digest(self.config(scheme_factory=factory))

@@ -73,6 +73,49 @@ class TestRunCampaign:
         assert rc == 0
         assert "secded" in capsys.readouterr().out
 
+    def test_json_summary(self, capsys, tmp_path):
+        import json
+
+        out = tmp_path / "summary.json"
+        rc = run_campaign.main([
+            "parity", "--trials", "3", "--warmup", "300", "--post", "200",
+            "--dirty-only", "--json", str(out),
+        ])
+        assert rc == 0
+        summary = json.loads(out.read_text())
+        assert summary["scheme"] == "parity"
+        assert summary["completed"] == 3
+        assert summary["failed"] == 0
+        assert summary["complete"] is True
+        assert set(summary["rates"]) == {"benign", "corrected", "due", "sdc"}
+
+    def test_runtime_flags_with_checkpoint_and_resume(self, capsys, tmp_path):
+        args = [
+            "parity", "--trials", "3", "--warmup", "300", "--post", "200",
+            "--dirty-only", "--jobs", "1", "--timeout", "120",
+            "--checkpoint-dir", str(tmp_path / "ckpt"),
+        ]
+        assert run_campaign.main(args) == 0
+        first = capsys.readouterr().out
+        # Same dir without --resume must refuse; with --resume it replays
+        # the recorded trials and prints the identical histogram.
+        assert run_campaign.main(args) == 1
+        capsys.readouterr()
+        assert run_campaign.main(args + ["--resume"]) == 0
+        resumed = capsys.readouterr().out
+        assert resumed == first
+
+    def test_impossible_timeout_exits_partial(self, capsys):
+        rc = run_campaign.main([
+            "parity", "--trials", "2", "--warmup", "300", "--post", "200",
+            "--dirty-only", "--jobs", "1", "--timeout", "0.05",
+            "--retries", "0",
+        ])
+        assert rc == 3
+        out = capsys.readouterr().out
+        assert "abandoned after retries" in out
+        assert "timeout" in out
+
 
 class TestRunSensitivity:
     def test_interleaving_sweep(self, capsys):
@@ -90,6 +133,32 @@ class TestRunSensitivity:
         )
         assert rc == 0
         assert "L1 capacity" in capsys.readouterr().out
+
+    def test_l1_size_sweep_on_worker_lanes_matches_sequential(self, capsys):
+        from repro.harness import sweep_l1_size
+        from repro.tools import run_sensitivity
+
+        rc = run_sensitivity.main(
+            ["l1-size", "-n", "1500", "--benchmark", "gzip", "--jobs", "2"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        sequential = sweep_l1_size(
+            benchmark="gzip", n_references=1500
+        ).to_text()
+        assert sequential in out
+
+    def test_json_summary(self, capsys):
+        import json
+
+        from repro.tools import run_sensitivity
+
+        rc = run_sensitivity.main(["interleaving", "--json", "-"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        payload = json.loads(out[out.index("{"):])
+        assert "interleaving" in payload["sweeps"]
+        assert payload["errors"] == {}
 
 
 class TestGenDocs:
@@ -119,4 +188,39 @@ class TestRunScorecard:
         rc = run_scorecard.main(["-n", "4000"])
         out = capsys.readouterr().out
         assert "scorecard" in out
-        assert rc in (0, 1)  # small scale may miss a band or two
+        # Shared _cli convention: 0 complete, 3 partial (failing claims).
+        # Small scale may miss a band or two, but never exits 1 (fatal).
+        assert rc in (0, 3)
+
+    def test_scorecard_json(self, capsys, tmp_path):
+        import json
+
+        from repro.tools import run_scorecard
+
+        out = tmp_path / "card.json"
+        rc = run_scorecard.main(["-n", "4000", "--json", str(out)])
+        payload = json.loads(out.read_text())
+        assert payload["claim_count"] == len(payload["claims"])
+        assert payload["pass_count"] <= payload["claim_count"]
+        assert (rc == 0) == payload["passed"]
+
+
+class TestSharedCliConventions:
+    def test_exit_codes(self):
+        from repro.tools import _cli
+
+        assert _cli.resolve_exit() == _cli.EXIT_OK == 0
+        assert _cli.resolve_exit(partial=True) == _cli.EXIT_PARTIAL == 3
+        assert _cli.resolve_exit(fatal=True) == _cli.EXIT_FATAL == 1
+        assert _cli.resolve_exit(fatal=True, partial=True) == _cli.EXIT_FATAL
+
+    def test_emit_json_noop_without_flag(self, capsys, tmp_path):
+        from repro.tools import _cli
+
+        _cli.emit_json(None, {"x": 1})
+        assert capsys.readouterr().out == ""
+        _cli.emit_json("-", {"x": 1})
+        assert '"x": 1' in capsys.readouterr().out
+        target = tmp_path / "out.json"
+        _cli.emit_json(str(target), {"x": 2})
+        assert '"x": 2' in target.read_text()
