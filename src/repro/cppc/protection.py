@@ -18,13 +18,15 @@ configurations evaluated in the paper's Section 6.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from collections import deque
+from typing import Deque, Optional, Sequence
 
 from ..coding import Inspection, InterleavedParity
 from ..errors import ConfigurationError, UncorrectableError
 from ..memsim.cache import Cache
 from ..memsim.protection import CodedProtection, FaultResolution, Resolution
 from ..memsim.types import UnitLocation
+from ..obs.trail import DEFAULT_TRAIL_MAXLEN, RecoveryAuditTrail, audit_payload
 from .geometry import PhysicalGeometry
 from .recovery import RecoveryReport, recover
 from .registers import RegisterFile
@@ -47,6 +49,9 @@ class CppcProtection(CodedProtection):
             are out of scope.
         num_classes: rotation classes / spatial row coverage (8 = the
             paper's 8x8 squares).
+        audit_maxlen: recovery reports/audits retained in memory; the
+            ``recoveries`` counter stays exact regardless, and an
+            attached trace sink streams every audit to disk.
     """
 
     name = "cppc"
@@ -60,6 +65,7 @@ class CppcProtection(CodedProtection):
         byte_shifting: bool = True,
         num_classes: int = 8,
         code: Optional[InterleavedParity] = None,
+        audit_maxlen: int = DEFAULT_TRAIL_MAXLEN,
     ):
         super().__init__(
             code or InterleavedParity(data_bits=data_bits, ways=parity_ways)
@@ -82,8 +88,12 @@ class CppcProtection(CodedProtection):
         self.geometry: Optional[PhysicalGeometry] = None
         #: Completed recovery passes (each may repair several units).
         self.recoveries = 0
-        #: Reports of every recovery, newest last (bounded by callers).
-        self.recovery_log: list = []
+        #: The newest ``audit_maxlen`` recovery reports.  Bounded here —
+        #: not by callers — so unattended campaigns hold O(1) memory no
+        #: matter how many faults they inject.
+        self.recovery_log: Deque[RecoveryReport] = deque(maxlen=audit_maxlen)
+        #: JSON-safe audit record per recovery, same retention bound.
+        self.audit_trail = RecoveryAuditTrail(maxlen=audit_maxlen)
         #: Registers rebuilt after their own parity failed (Section 4.9).
         self.register_repairs = 0
 
@@ -91,6 +101,12 @@ class CppcProtection(CodedProtection):
     def attach(self, cache: Cache) -> None:
         super().attach(cache)
         self.geometry = PhysicalGeometry.of_cache(cache)
+
+    def set_observer(self, sink) -> None:
+        super().set_observer(sink)
+        # The trail streams each audit record out as it is captured, so
+        # the bounded deque never loses history when a sink is attached.
+        self.audit_trail.sink = sink
 
     def class_of(self, loc: UnitLocation) -> int:
         """Rotation class of the unit at ``loc``."""
@@ -117,6 +133,18 @@ class CppcProtection(CodedProtection):
             pair.on_dirty_removed(self.rotation.rotate_in(old, cls))
             self.cache.stats.read_before_writes += 1
         pair.on_written(self.rotation.rotate_in(new, cls))
+        if self._obs_on:
+            self._obs.emit(
+                "cppc.registers",
+                "update",
+                {
+                    "loc": list(loc),
+                    "class": cls,
+                    "pair": self.registers.pair_index_of_class(cls),
+                    "r1": True,
+                    "r2": was_dirty,
+                },
+            )
 
     def on_evict(
         self,
@@ -135,6 +163,18 @@ class CppcProtection(CodedProtection):
             self.registers.pair_of_class(cls).on_dirty_removed(
                 self.rotation.rotate_in(value, cls)
             )
+            if self._obs_on:
+                self._obs.emit(
+                    "cppc.registers",
+                    "update",
+                    {
+                        "loc": list(loc),
+                        "class": cls,
+                        "pair": self.registers.pair_index_of_class(cls),
+                        "r1": False,
+                        "r2": True,
+                    },
+                )
 
     def on_cleaned(
         self,
@@ -165,6 +205,7 @@ class CppcProtection(CodedProtection):
         report: RecoveryReport = recover(self, loc)
         self.recoveries += 1
         self.recovery_log.append(report)
+        self.audit_trail.record(audit_payload(report, self))
         return FaultResolution(
             kind=Resolution.CORRECTED, value=report.corrected_value(loc)
         )
@@ -218,6 +259,12 @@ class CppcProtection(CodedProtection):
             pair.r2 = dirty_xor ^ pair.r1
             pair.r2_parity = bin(pair.r2).count("1") & 1
         self.register_repairs += 1
+        if self._obs_on:
+            self._obs.emit(
+                "cppc.registers",
+                "repair",
+                {"pair": pair_index, "register": which},
+            )
 
     # ------------------------------------------------------------------
     # Introspection

@@ -44,6 +44,24 @@ if TYPE_CHECKING:  # pragma: no cover
 
 
 @dataclasses.dataclass
+class PairAudit:
+    """One register pair's slice of a recovery pass.
+
+    Captures everything :func:`repro.obs.verify_audit` needs to re-derive
+    the pair's corrections offline: the register contents as read, the
+    residue ``R3``, the resolution method and the faulty units with their
+    parity syndromes.
+    """
+
+    pair_index: int
+    r1: int
+    r2: int
+    residue: int
+    method: str
+    faulty: List[FaultyUnit] = dataclasses.field(default_factory=list)
+
+
+@dataclasses.dataclass
 class RecoveryReport:
     """What one recovery pass found and fixed (for tests and logging)."""
 
@@ -56,6 +74,10 @@ class RecoveryReport:
     #: Units the recovery walk inspected (the whole valid cache: the
     #: dominant cost of the Section 4.4 procedure).
     units_scanned: int = 0
+    #: Per-pair audit slices, in resolution order.
+    pair_audits: List[PairAudit] = dataclasses.field(default_factory=list)
+    #: Registers rebuilt (Section 4.9) before this pass could read them.
+    register_repairs: int = 0
 
     def corrected_value(self, loc: UnitLocation) -> int:
         """The repaired value recovery produced for ``loc``."""
@@ -77,10 +99,13 @@ def recover(scheme: "CppcProtection", trigger: UnitLocation) -> RecoveryReport:
     cache = scheme.cache
     if cache is None:
         raise SimulationError("CPPC recovery invoked before attach()")
+    obs = scheme._obs if scheme._obs_on else None
     # The registers are about to be read: check their own parity first
     # and rebuild any that took a hit (paper Section 4.9).
+    repairs_before = scheme.register_repairs
     scheme.verify_registers()
     report = RecoveryReport(trigger=trigger)
+    report.register_repairs = scheme.register_repairs - repairs_before
 
     # Step 1/3: scan all dirty units, grouping by register pair and
     # collecting the ones whose parity check fails.
@@ -114,6 +139,17 @@ def recover(scheme: "CppcProtection", trigger: UnitLocation) -> RecoveryReport:
             f"recovery triggered by {trigger} but the scan does not see it "
             "as a faulty dirty unit"
         )
+    if obs is not None:
+        obs.emit(
+            "cppc.recovery",
+            "scan",
+            {
+                "trigger": list(trigger),
+                "units_scanned": report.units_scanned,
+                "faulty": [list(loc) for loc in report.faulty_units],
+                "register_repairs": report.register_repairs,
+            },
+        )
 
     # Step 2: per-pair residues, then resolution.
     for pair_index, faulty in faulty_by_pair.items():
@@ -123,7 +159,35 @@ def recover(scheme: "CppcProtection", trigger: UnitLocation) -> RecoveryReport:
             for _loc, value, cls in dirty_by_pair.get(pair_index, [])
         )
         r3 = pair.dirty_xor ^ xor_reduce(rotated_dirty)
+        if obs is not None:
+            obs.emit(
+                "cppc.recovery",
+                "residue",
+                {
+                    "pair": pair_index,
+                    "r1": pair.r1,
+                    "r2": pair.r2,
+                    "residue": r3,
+                    "faulty": [
+                        {
+                            "loc": list(u.loc),
+                            "parities": sorted(u.faulty_parities),
+                        }
+                        for u in faulty
+                    ],
+                },
+            )
         deltas = _resolve_pair(scheme, faulty, r3, report)
+        report.pair_audits.append(
+            PairAudit(
+                pair_index=pair_index,
+                r1=pair.r1,
+                r2=pair.r2,
+                residue=r3,
+                method=report.methods[-1],
+                faulty=list(faulty),
+            )
+        )
         for unit in faulty:
             corrected = unit.stored_value ^ deltas[unit.loc]
             stored_check = cache.line(
@@ -146,6 +210,18 @@ def recover(scheme: "CppcProtection", trigger: UnitLocation) -> RecoveryReport:
                     detail=unit.loc,
                 )
             report.corrections[unit.loc] = (unit.stored_value, corrected)
+            if obs is not None:
+                obs.emit(
+                    "cppc.recovery",
+                    "reconstruct",
+                    {
+                        "loc": list(unit.loc),
+                        "method": report.methods[-1],
+                        "old": unit.stored_value,
+                        "new": corrected,
+                        "delta": unit.stored_value ^ corrected,
+                    },
+                )
 
     # Apply every repair except the trigger's (the cache applies that one
     # through the normal resolution path).

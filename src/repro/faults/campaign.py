@@ -20,6 +20,7 @@ from __future__ import annotations
 import dataclasses
 import enum
 import itertools
+import time
 from typing import Callable, Dict, List, Optional, Tuple
 
 from ..errors import ConfigurationError, TrialCrashError, UncorrectableError
@@ -170,12 +171,45 @@ class CampaignResult:
         """Outcome rates keyed by name."""
         return {o.value: self.rate(o) for o in Outcome}
 
+    def snapshot(self) -> dict:
+        """JSON-exact view of the campaign outcome (shared metrics schema)."""
+        return {
+            "benchmark": self.config.benchmark,
+            "fault_kind": self.config.fault_kind,
+            "target_level": self.config.target_level,
+            "configured_trials": self.config.trials,
+            "completed": self.completed,
+            "failed": self.failed,
+            "counts": {o.value: n for o, n in self.counts.items()},
+            "rates": self.summary(),
+        }
+
+    def export_metrics(self, registry, prefix: str = "campaign.") -> None:
+        """Fold outcome counts/rates into a :class:`repro.obs.MetricsRegistry`."""
+        for outcome, count in self.counts.items():
+            registry.counter(f"{prefix}{outcome.value}").inc(count)
+        for outcome, rate in self.summary().items():
+            registry.gauge(f"{prefix}{outcome}_rate").set(rate)
+        registry.counter(f"{prefix}completed").inc(self.completed)
+        registry.counter(f"{prefix}failed").inc(self.failed)
+
 
 class FaultCampaign:
-    """Runs the Monte-Carlo campaign described by a :class:`CampaignConfig`."""
+    """Runs the Monte-Carlo campaign described by a :class:`CampaignConfig`.
 
-    def __init__(self, config: CampaignConfig):
+    Args:
+        config: the campaign parameters.
+        obs: optional :class:`repro.obs.TraceSink`.  Sequential runs
+            attach it to every trial's hierarchy (hit/miss/recovery
+            events stream out live) and wrap each trial in a span.
+    """
+
+    def __init__(self, config: CampaignConfig, obs=None):
         self.config = config
+        self.obs = obs
+
+    def _obs_or_none(self):
+        return self.obs if self.obs is not None and self.obs.enabled else None
 
     def run(self, runtime=None) -> CampaignResult:
         """Execute every trial and return the aggregate.
@@ -190,10 +224,25 @@ class FaultCampaign:
         if runtime is not None:
             from ..runtime.campaign import run_campaign
 
-            return run_campaign(self.config, runtime)
+            return run_campaign(self.config, runtime, obs=self.obs)
+        obs = self._obs_or_none()
         result = CampaignResult(config=self.config)
         for trial in range(self.config.trials):
-            result.trials.append(self._run_trial(trial))
+            start = time.perf_counter() if obs is not None else 0.0
+            outcome = self._run_trial(trial)
+            result.trials.append(outcome)
+            if obs is not None:
+                obs.span(
+                    "campaign",
+                    f"trial[{trial}]",
+                    start,
+                    time.perf_counter() - start,
+                    {
+                        "outcome": outcome.outcome.value,
+                        "injected_bits": outcome.injected_bits,
+                        "touched_units": outcome.touched_units,
+                    },
+                )
         return result
 
     # ------------------------------------------------------------------
@@ -228,7 +277,10 @@ class FaultCampaign:
 
     def _classify_trial(self, trial: int) -> TrialResult:
         cfg = self.config
+        obs = self._obs_or_none()
         hierarchy = MemoryHierarchy(protection_factory=cfg.scheme_factory)
+        if obs is not None:
+            hierarchy.set_observer(obs)
         golden = GoldenMemory()
         replayer = TraceReplayer(
             hierarchy, golden=golden, check_loads=True
@@ -253,6 +305,18 @@ class FaultCampaign:
         injection = self._inject(injector)
         if injection is None or not injection.flips:
             return TrialResult(outcome=Outcome.BENIGN, detail="no resident target")
+        if obs is not None:
+            obs.emit(
+                "campaign",
+                "inject",
+                {
+                    "trial": trial,
+                    "level": cfg.target_level,
+                    "kind": cfg.fault_kind,
+                    "bits": injection.total_bits,
+                    "units": len(injection.touched_units),
+                },
+            )
 
         detected_before = target.stats.detected_faults
         try:

@@ -16,6 +16,7 @@ from __future__ import annotations
 import dataclasses
 import itertools
 import statistics
+import time
 from typing import Dict, List, Optional, Sequence
 
 from ..energy import SCHEMES, normalized_energies
@@ -92,10 +93,34 @@ def run_all_benchmarks(
     seed: int = 0,
     benchmarks: Optional[Sequence[str]] = None,
     config: HierarchyConfig = PAPER_CONFIG,
+    obs=None,
 ) -> List[BenchmarkRun]:
-    """Shared simulations for every benchmark in evaluation order."""
+    """Shared simulations for every benchmark in evaluation order.
+
+    ``obs`` (a :class:`repro.obs.TraceSink`) gets one span per benchmark
+    simulation — coarse progress marks, not per-access events, so the
+    trace stays small at full experiment scale.
+    """
     names = list(benchmarks) if benchmarks is not None else benchmark_names()
-    return [run_benchmark(n, n_references, seed, config) for n in names]
+    live = obs is not None and obs.enabled
+    runs = []
+    for name in names:
+        start = time.perf_counter() if live else 0.0
+        run = run_benchmark(name, n_references, seed, config)
+        if live:
+            obs.span(
+                "experiment",
+                f"benchmark[{name}]",
+                start,
+                time.perf_counter() - start,
+                {
+                    "references": run.references,
+                    "l1_miss_rate": run.l1.miss_rate,
+                    "l2_miss_rate": run.l2.miss_rate,
+                },
+            )
+        runs.append(run)
+    return runs
 
 
 # ----------------------------------------------------------------------

@@ -34,6 +34,7 @@ enforces the boundary.
 from __future__ import annotations
 
 import dataclasses
+import time
 from typing import Dict, Iterable, List, Optional, Tuple
 
 import numpy as np
@@ -268,6 +269,14 @@ class BatchReplayEngine:
         self.num_classes = num_classes
         # Validates the pair/class geometry exactly like CppcProtection.
         RegisterFile(64, num_pairs=num_pairs, num_classes=num_classes)
+        #: Optional :class:`repro.obs.TraceSink`.  When absent or
+        #: disabled, :meth:`replay` runs the single-chunk uninstrumented
+        #: path — no timing calls, no extra per-set work.
+        self.obs = None
+
+    #: Set-range chunks per replay when a sink is attached (each chunk
+    #: becomes one span in the trace).
+    OBS_CHUNKS = 8
 
     # ------------------------------------------------------------------
     # Phase 1 — bulk address decomposition
@@ -292,6 +301,8 @@ class BatchReplayEngine:
         """Replay ``trace`` and return the full result bundle."""
         trace.validate()
         n = len(trace)
+        obs = self.obs if self.obs is not None and self.obs.enabled else None
+        t_phase = time.perf_counter() if obs is not None else 0.0
         set_idx, tags, units, classes = self.decompose(trace)
         cycles = np.cumsum(trace.gap + 1)
         # Every block the trace can touch, pre-mapped to a dense memory
@@ -327,41 +338,71 @@ class BatchReplayEngine:
 
         order = np.argsort(set_idx, kind="stable")
         bounds = np.searchsorted(set_idx[order], np.arange(self.num_sets + 1))
-        for s in range(self.num_sets):
-            lo, hi = int(bounds[s]), int(bounds[s + 1])
-            if lo == hi:
-                continue
-            sub = order[lo:hi]
-            self._replay_set(
-                s,
-                sub.tolist(),
-                tags[sub].tolist(),
-                units[sub].tolist(),
-                classes[sub].tolist(),
-                trace.is_store[sub].tolist(),
-                cycles[sub].tolist(),
-                mem_slot[sub].tolist(),
-                trace.value_word[sub].tolist(),
-                trace.value_mask[sub].tolist(),
-                memimg,
-                (
-                    line_tag[s],
-                    line_data[s],
-                    line_dirty[s],
-                    line_last[s],
-                    line_slot[s],
-                    line_ndirty[s],
-                ),
-                counters,
-                r1_vals,
-                r1_cls,
-                r2_vals,
-                r2_cls,
-                intervals,
-                delta_idx,
-                delta_val,
+        if obs is None:
+            # Uninstrumented path: one chunk, zero timing calls.
+            chunks = [(0, self.num_sets)]
+        else:
+            obs.span(
+                "batch",
+                "decompose",
+                t_phase,
+                time.perf_counter() - t_phase,
+                {"references": n},
             )
+            step = -(-self.num_sets // self.OBS_CHUNKS)
+            chunks = [
+                (c0, min(c0 + step, self.num_sets))
+                for c0 in range(0, self.num_sets, step)
+            ]
+        for c0, c1 in chunks:
+            t_chunk = time.perf_counter() if obs is not None else 0.0
+            for s in range(c0, c1):
+                lo, hi = int(bounds[s]), int(bounds[s + 1])
+                if lo == hi:
+                    continue
+                sub = order[lo:hi]
+                self._replay_set(
+                    s,
+                    sub.tolist(),
+                    tags[sub].tolist(),
+                    units[sub].tolist(),
+                    classes[sub].tolist(),
+                    trace.is_store[sub].tolist(),
+                    cycles[sub].tolist(),
+                    mem_slot[sub].tolist(),
+                    trace.value_word[sub].tolist(),
+                    trace.value_mask[sub].tolist(),
+                    memimg,
+                    (
+                        line_tag[s],
+                        line_data[s],
+                        line_dirty[s],
+                        line_last[s],
+                        line_slot[s],
+                        line_ndirty[s],
+                    ),
+                    counters,
+                    r1_vals,
+                    r1_cls,
+                    r2_vals,
+                    r2_cls,
+                    intervals,
+                    delta_idx,
+                    delta_val,
+                )
+            if obs is not None:
+                obs.span(
+                    "batch",
+                    f"resolve-sets[{c0}:{c1}]",
+                    t_chunk,
+                    time.perf_counter() - t_chunk,
+                    {
+                        "sets": c1 - c0,
+                        "references": int(bounds[c1] - bounds[c0]),
+                    },
+                )
 
+        t_phase = time.perf_counter() if obs is not None else 0.0
         stats = self._reduce_stats(
             n,
             cycles,
@@ -378,6 +419,14 @@ class BatchReplayEngine:
             int(addr) * bb: raw[slot * bb : (slot + 1) * bb]
             for slot, addr in enumerate(unique_blocks)
         }
+        if obs is not None:
+            obs.span(
+                "batch",
+                "accumulate",
+                t_phase,
+                time.perf_counter() - t_phase,
+                {"references": n},
+            )
         return BatchReplayResult(
             references=n,
             loads=int(n - trace.is_store.sum()),

@@ -118,6 +118,16 @@ class Cache:
         if tag_protection is not None:
             tag_protection.attach(self)
         self._access_counter = 0.0
+        # Trace sink + cached enabled flag: hot paths pay one branch.
+        self._obs = None
+        self._obs_on = False
+
+    def set_observer(self, sink) -> None:
+        """Attach a :class:`repro.obs.TraceSink` to this level (None
+        detaches).  Propagates to the protection scheme."""
+        self._obs = sink
+        self._obs_on = bool(sink is not None and sink.enabled)
+        self.protection.set_observer(sink)
 
     # ------------------------------------------------------------------
     # Geometry helpers
@@ -193,11 +203,18 @@ class Cache:
 
         Dirty-occupancy integration restarts from the current dirty-unit
         count and clock, so time-averaged metrics reflect only the
-        measurement window.
+        measurement window.  The stats clock can legitimately sit ahead
+        of the access counter — drivers close an integration window with
+        ``stats.advance_to(end_cycle)`` — so the restart point is the
+        later of the two; rewinding to the access counter would silently
+        re-integrate (or drop) part of the warmup window and skew
+        ``dirty_fraction``/``tavg_cycles``.
         """
+        last = max(self._access_counter, self.stats._last_event_cycle)
+        self._access_counter = last
         fresh = CacheStats()
         fresh.configure(self.total_units)
-        fresh._last_event_cycle = self._access_counter
+        fresh._last_event_cycle = last
         fresh._current_dirty_units = self.dirty_unit_count()
         self.stats = fresh
 
@@ -268,6 +285,12 @@ class Cache:
             return False
         self.stats.detected_faults += 1
         dirty = ln.dirty[loc.unit_index]
+        if self._obs_on:
+            self._obs.emit(
+                "cache",
+                "fault-detected",
+                {"level": self.name, "loc": list(loc), "dirty": dirty},
+            )
         resolution = self.protection.handle_fault(loc, value, check, inspection, dirty)
         self._apply_resolution(ln, loc, resolution)
         return True
@@ -281,6 +304,12 @@ class Cache:
             self._set_unit_value(ln, loc.unit_index, resolution.value)
             ln.check[loc.unit_index] = self.protection.encode(resolution.value)
             self.stats.corrected_faults += 1
+            if self._obs_on:
+                self._obs.emit(
+                    "cache",
+                    "corrected",
+                    {"level": self.name, "loc": list(loc)},
+                )
             return
         if resolution.kind is Resolution.REFETCH:
             if ln.dirty[loc.unit_index]:
@@ -299,6 +328,12 @@ class Cache:
             ln.check[loc.unit_index] = self.protection.encode(fresh)
             self.stats.corrected_faults += 1
             self.stats.refetch_corrections += 1
+            if self._obs_on:
+                self._obs.emit(
+                    "cache",
+                    "refetch",
+                    {"level": self.name, "loc": list(loc)},
+                )
             return
         raise SimulationError(f"unknown resolution {resolution.kind}")
 
@@ -357,6 +392,18 @@ class Cache:
         dirty_count = sum(ln.dirty)
         if dirty_count:
             self.stats.dirty_units_changed(-dirty_count)
+        if self._obs_on:
+            self._obs.emit(
+                "cache",
+                "evict",
+                {
+                    "level": self.name,
+                    "set": set_index,
+                    "way": way,
+                    "writeback": wrote_back,
+                    "dirty_units": dirty_count,
+                },
+            )
         if self.tag_protection is not None:
             self.tag_protection.on_remove(ln.tag)
         ln.valid = False
@@ -415,6 +462,12 @@ class Cache:
         way = self._find(set_index, tag)
         hit = way is not None
         wrote_back = False
+        if self._obs_on:
+            self._obs.emit(
+                "cache",
+                "load",
+                {"level": self.name, "addr": addr, "hit": hit},
+            )
         if hit:
             self.stats.read_hits += 1
         else:
@@ -456,6 +509,12 @@ class Cache:
         way = self._find(set_index, tag)
         hit = way is not None
         wrote_back = False
+        if self._obs_on:
+            self._obs.emit(
+                "cache",
+                "store",
+                {"level": self.name, "addr": addr, "hit": hit},
+            )
         if hit:
             self.stats.write_hits += 1
         else:
@@ -529,6 +588,13 @@ class Cache:
         base = self.mapper.rebuild_address(ln.tag, set_index)
         self.next_level.write_block(base, bytes(ln.data), cycle=now)
         self.stats.write_throughs += 1
+        if self._obs_on:
+            self._obs.emit(
+                "cache",
+                "writeback",
+                {"level": self.name, "set": set_index, "way": way,
+                 "through": True},
+            )
         dirty_count = sum(ln.dirty)
         if dirty_count:
             values = [self._unit_value(ln, u) for u in range(self.units_per_block)]

@@ -144,6 +144,15 @@ class MemoryHierarchy:
             policy=policy,
         )
 
+    def set_observer(self, sink) -> None:
+        """Attach a :class:`repro.obs.TraceSink` to every level."""
+        for cache in self.levels():
+            cache.set_observer(sink)
+
+    def levels(self):
+        """All cache levels, innermost first."""
+        return [self.l1d, self.l2] + ([self.l3] if self.l3 else [])
+
     def load(self, addr: int, size: int = 8, cycle: Optional[float] = None) -> AccessResult:
         """Processor load (routed to L1D)."""
         return self.l1d.load(addr, size, cycle=cycle)

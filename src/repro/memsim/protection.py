@@ -62,6 +62,10 @@ class CacheProtection(abc.ABC):
 
     def __init__(self):
         self.cache: Optional["Cache"] = None
+        #: Attached trace sink and its cached enabled flag.  Hot paths
+        #: test ``_obs_on`` so a disabled/absent sink costs one branch.
+        self._obs = None
+        self._obs_on = False
 
     # ------------------------------------------------------------------
     # Wiring
@@ -73,6 +77,11 @@ class CacheProtection(abc.ABC):
                 f"{self.name} protection is already attached to a cache"
             )
         self.cache = cache
+
+    def set_observer(self, sink) -> None:
+        """Attach a :class:`repro.obs.TraceSink` (None detaches)."""
+        self._obs = sink
+        self._obs_on = bool(sink is not None and sink.enabled)
 
     @property
     @abc.abstractmethod

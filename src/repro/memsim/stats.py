@@ -133,12 +133,20 @@ class CacheStats:
 
     # ------------------------------------------------------------------
     def snapshot(self) -> dict:
-        """Public counters as a plain dict (for reports and tests)."""
+        """Public counters as a plain dict (for reports and tests).
+
+        The dict survives a JSON round-trip unchanged: the interval
+        histogram is rendered as sorted ``[bucket, count]`` pairs (a JSON
+        object would stringify the integer bucket keys).
+        """
         return {
             "read_hits": self.read_hits,
             "read_misses": self.read_misses,
             "write_hits": self.write_hits,
             "write_misses": self.write_misses,
+            "loads": self.loads,
+            "stores": self.stores,
+            "accesses": self.accesses,
             "fills": self.fills,
             "writebacks": self.writebacks,
             "write_throughs": self.write_throughs,
@@ -152,4 +160,20 @@ class CacheStats:
             "miss_rate": self.miss_rate,
             "dirty_fraction": self.dirty_fraction,
             "tavg_cycles": self.tavg_cycles,
+            "dirty_interval_count": self.dirty_interval_count,
+            "dirty_interval_histogram": [
+                [bucket, count]
+                for bucket, count in sorted(
+                    self.dirty_interval_histogram.items()
+                )
+            ],
         }
+
+    def export_metrics(self, registry, prefix: str = "") -> None:
+        """Fold this snapshot into a :class:`repro.obs.MetricsRegistry`."""
+        snap = self.snapshot()
+        histogram = snap.pop("dirty_interval_histogram")
+        registry.merge_counts(snap.items(), prefix=prefix)
+        registry.histogram(f"{prefix}dirty_interval_cycles").merge_buckets(
+            dict(histogram)
+        )

@@ -25,6 +25,11 @@ class UnitLocation:
     way: int
     unit_index: int
 
+    def __iter__(self):
+        # (set, way, unit) triple — lets trace payloads serialize a
+        # location as a plain JSON array via list(loc).
+        return iter((self.set_index, self.way, self.unit_index))
+
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return f"set{self.set_index}.way{self.way}.unit{self.unit_index}"
 

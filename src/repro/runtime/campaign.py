@@ -152,7 +152,7 @@ def _failure_from_report(report: TaskReport) -> TrialFailure:
 
 # ----------------------------------------------------------------------
 def run_campaign(
-    config: CampaignConfig, runtime: CampaignRuntime
+    config: CampaignConfig, runtime: CampaignRuntime, *, obs=None
 ) -> CampaignResult:
     """Run (or resume) one campaign under a :class:`CampaignRuntime`.
 
@@ -161,7 +161,14 @@ def run_campaign(
     checkpoint directory every finished trial is durable before the next
     is scheduled on that lane, so an interruption loses at most in-flight
     work.
+
+    ``obs`` (a :class:`repro.obs.TraceSink`) receives one outcome event
+    per finished trial.  Trials execute in worker subprocesses, so —
+    unlike the sequential path — per-access events are not available
+    here, only the parent-side classification stream.
     """
+    if obs is not None and not obs.enabled:
+        obs = None
     digest = campaign_digest(config)
     store: Optional[CheckpointStore] = None
     recorded: Dict[int, CheckpointRecord] = {}
@@ -187,6 +194,28 @@ def run_campaign(
     ]
 
     def checkpoint(report: TaskReport) -> None:
+        if obs is not None:
+            if report.ok:
+                obs.emit(
+                    "campaign",
+                    "trial",
+                    {
+                        "trial": report.index,
+                        "outcome": report.value.outcome.value,
+                        "injected_bits": report.value.injected_bits,
+                        "attempts": report.attempts,
+                    },
+                )
+            else:
+                obs.emit(
+                    "campaign",
+                    "trial-failed",
+                    {
+                        "trial": report.index,
+                        "attempts": report.attempts,
+                        "error": str(report.error),
+                    },
+                )
         if store is None:
             return
         if report.ok:

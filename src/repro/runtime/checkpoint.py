@@ -24,18 +24,17 @@ from pathlib import Path
 from typing import Dict, Optional
 
 from ..errors import CheckpointCorruptError, ConfigurationError
+from ..util.jsonio import canonical_json, line_checksum
 
 FORMAT_VERSION = 1
 MANIFEST_NAME = "MANIFEST.json"
 LOG_NAME = "trials.jsonl"
 
 
-def _canonical(payload: dict) -> str:
-    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
-
-
-def _checksum(payload: dict) -> str:
-    return hashlib.sha256(_canonical(payload).encode("utf-8")).hexdigest()[:16]
+# The canonical-JSON + checksum line discipline lives in repro.util so
+# trace sinks (repro.obs.sinks) share it without importing this package.
+_canonical = canonical_json
+_checksum = line_checksum
 
 
 def _factory_token(factory) -> str:

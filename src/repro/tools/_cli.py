@@ -11,6 +11,13 @@ Exit codes (uniform across ``run_campaign``, ``run_scorecard``,
 ``--json`` support: every tool that accepts it emits one
 machine-readable summary object via :func:`emit_json` — to stdout with
 ``--json``, or to a file with ``--json PATH``.
+
+Observability (:mod:`repro.obs`) flags: :func:`add_obs_arguments`
+installs ``--trace-out PATH`` (event trace: ``.jsonl`` for the
+checksummed line format, ``.json`` for a chrome://tracing file) and
+``--emit-metrics [PATH]`` (the shared
+:class:`~repro.obs.MetricsRegistry` snapshot schema);
+:func:`open_sink` turns the former into a live sink.
 """
 
 from __future__ import annotations
@@ -19,6 +26,8 @@ import argparse
 import json
 import sys
 from typing import Optional
+
+from ..obs import MetricsRegistry, TraceSink, make_sink
 
 EXIT_OK = 0
 EXIT_FATAL = 1
@@ -35,6 +44,44 @@ def add_json_argument(parser: argparse.ArgumentParser) -> None:
         metavar="PATH",
         help="emit a machine-readable JSON summary (to stdout, or to PATH)",
     )
+
+
+def add_obs_arguments(parser: argparse.ArgumentParser) -> None:
+    """Install the shared observability flags on ``parser``."""
+    parser.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="PATH",
+        help="write an event trace (.jsonl = checksummed lines, "
+        ".json = chrome://tracing)",
+    )
+    parser.add_argument(
+        "--emit-metrics",
+        nargs="?",
+        const="-",
+        default=None,
+        metavar="PATH",
+        help="emit the metrics-registry snapshot as JSON "
+        "(to stdout, or to PATH)",
+    )
+
+
+def open_sink(trace_out: Optional[str]) -> TraceSink:
+    """Sink for ``--trace-out`` (a NullSink when the flag is absent)."""
+    return make_sink(trace_out)
+
+
+def metrics_registry(emit_metrics: Optional[str]) -> Optional[MetricsRegistry]:
+    """A registry when ``--emit-metrics`` was given, else None."""
+    return MetricsRegistry() if emit_metrics is not None else None
+
+
+def emit_metrics(
+    destination: Optional[str], registry: Optional[MetricsRegistry]
+) -> None:
+    """Write the registry snapshot per the ``--emit-metrics`` flag."""
+    if registry is not None:
+        emit_json(destination, registry.snapshot())
 
 
 def emit_json(destination: Optional[str], payload: dict) -> None:

@@ -10,7 +10,10 @@ report (``BENCH_replay.json`` by default)::
 ``--min-speedup`` turns the run into a gate: the exit status is
 non-zero when the measured speedup falls below the floor, which is how
 CI keeps the fast path honest without being flaky about absolute
-timings.
+timings.  ``--max-obs-overhead`` gates the same way on the ratio of
+batch replay time with a *disabled* trace sink attached to the plain
+batch time — the zero-overhead-when-disabled property of
+:mod:`repro.obs`, kept honest as a ratio rather than a wall-clock.
 """
 
 from __future__ import annotations
@@ -24,8 +27,10 @@ from typing import Optional, Sequence
 
 from ..errors import EquivalenceError
 from ..memsim.batch import BatchTrace
+from ..obs import NullSink, make_sink
 from ..workloads import benchmark_names, make_workload, materialize
 from ..workloads.replay import FastReplay, TraceReplayer
+from ._cli import add_obs_arguments, emit_metrics, metrics_registry
 
 #: Trace prefix used to warm both engines before the timed runs.
 WARMUP_REFERENCES = 5_000
@@ -76,12 +81,20 @@ def build_parser() -> argparse.ArgumentParser:
         "(default: no gate)",
     )
     parser.add_argument(
+        "--max-obs-overhead",
+        type=float,
+        default=0.0,
+        help="fail (exit 1) when batch time with a disabled trace sink "
+        "exceeds this ratio of the plain batch time (default: no gate)",
+    )
+    parser.add_argument(
         "--output",
         "-o",
         type=pathlib.Path,
         default=pathlib.Path("BENCH_replay.json"),
         help="JSON report path (default: %(default)s)",
     )
+    add_obs_arguments(parser)
     return parser
 
 
@@ -102,8 +115,16 @@ def run_bench(
     equivalence_len: int = 1_000,
     repeats: int = 3,
     seed: int = 0,
+    trace_out: Optional[str] = None,
+    registry=None,
 ) -> dict:
-    """Run the comparison and return the report dictionary."""
+    """Run the comparison and return the report dictionary.
+
+    ``trace_out`` additionally replays the trace once with a live sink
+    attached (per-chunk spans land in the file); ``registry`` (a
+    :class:`repro.obs.MetricsRegistry`) receives the batch run's cache
+    statistics.
+    """
     if trace_len < 1:
         raise ValueError("trace_len must be positive")
     records = materialize(make_workload(benchmark, seed=seed).records(trace_len))
@@ -122,15 +143,35 @@ def run_bench(
     replayer.engine.replay(BatchTrace.from_records(warm))
     TraceReplayer(replayer.scalar_cache()).run(warm)
 
-    batch_s = _time_best(
-        lambda: replayer.engine.replay(BatchTrace.from_records(records)),
-        repeats,
-    )
+    batch_result = {}
+
+    def batch_once():
+        batch_result["value"] = replayer.engine.replay(
+            BatchTrace.from_records(records)
+        )
+
+    # Zero-overhead-when-disabled: a NullSink attached to the engine must
+    # keep the hot loop on its uninstrumented branch, so this ratio stays
+    # ~1.0 regardless of machine speed.  The two batch variants are timed
+    # in alternation (not in separate back-to-back blocks) so slow drift
+    # on a noisy machine cancels out of the ratio.
+    disabled = FastReplay(equivalence="never", obs=NullSink())
+    disabled.engine.replay(BatchTrace.from_records(warm))
+
+    def disabled_once():
+        disabled.engine.replay(BatchTrace.from_records(records))
+
+    batch_s = disabled_s = float("inf")
+    for _ in range(max(1, repeats)):
+        batch_s = min(batch_s, _time_best(batch_once, 1))
+        disabled_s = min(disabled_s, _time_best(disabled_once, 1))
+
     scalar_s = _time_best(
         lambda: TraceReplayer(replayer.scalar_cache()).run(records),
         repeats,
     )
-    return {
+
+    report = {
         "benchmark": benchmark,
         "trace_len": trace_len,
         "seed": seed,
@@ -141,7 +182,20 @@ def run_bench(
         "scalar_ops_per_sec": trace_len / scalar_s,
         "batch_ops_per_sec": trace_len / batch_s,
         "speedup": scalar_s / batch_s,
+        "disabled_sink_seconds": disabled_s,
+        "obs_overhead_ratio": disabled_s / batch_s,
     }
+    if registry is not None:
+        batch_result["value"].stats.export_metrics(registry, prefix="batch.")
+        registry.gauge("bench.speedup").set(report["speedup"])
+        registry.gauge("bench.obs_overhead_ratio").set(
+            report["obs_overhead_ratio"]
+        )
+    if trace_out is not None:
+        with make_sink(trace_out) as sink:
+            FastReplay(equivalence="never", obs=sink).run(records)
+        report["trace_out"] = str(trace_out)
+    return report
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -149,6 +203,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = parser.parse_args(argv)
     if args.trace_len < 1:
         parser.error("--trace-len must be positive")
+    registry = metrics_registry(args.emit_metrics)
     try:
         report = run_bench(
             args.benchmark,
@@ -156,22 +211,36 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             equivalence_len=args.equivalence_len,
             repeats=args.repeats,
             seed=args.seed,
+            trace_out=args.trace_out,
+            registry=registry,
         )
     except EquivalenceError as exc:
         print(f"equivalence check FAILED:\n{exc}", file=sys.stderr)
         return 1
     args.output.write_text(json.dumps(report, indent=2) + "\n")
+    emit_metrics(args.emit_metrics, registry)
     print(
         "{benchmark}: {trace_len} refs  "
         "scalar {scalar_ops_per_sec:.0f} ops/s  "
         "batch {batch_ops_per_sec:.0f} ops/s  "
-        "speedup {speedup:.1f}x".format(**report)
+        "speedup {speedup:.1f}x  "
+        "obs-overhead {obs_overhead_ratio:.3f}".format(**report)
     )
     print(f"wrote {args.output}")
     if args.min_speedup and report["speedup"] < args.min_speedup:
         print(
             f"speedup {report['speedup']:.1f}x is below the required "
             f"{args.min_speedup:.1f}x",
+            file=sys.stderr,
+        )
+        return 1
+    if (
+        args.max_obs_overhead
+        and report["obs_overhead_ratio"] > args.max_obs_overhead
+    ):
+        print(
+            f"disabled-sink overhead {report['obs_overhead_ratio']:.3f} "
+            f"exceeds the allowed {args.max_obs_overhead:.3f}",
             file=sys.stderr,
         )
         return 1

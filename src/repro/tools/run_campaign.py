@@ -25,7 +25,16 @@ from ..faults import CampaignConfig, FaultCampaign, Outcome
 from ..faults.schemes import SCHEMES, scheme_factory
 from ..runtime import CampaignRuntime, RetryPolicy
 from ..workloads import benchmark_names
-from ._cli import add_json_argument, emit_json, fail, resolve_exit
+from ._cli import (
+    add_json_argument,
+    add_obs_arguments,
+    emit_json,
+    emit_metrics,
+    fail,
+    metrics_registry,
+    open_sink,
+    resolve_exit,
+)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -84,6 +93,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="skip trials already recorded under --checkpoint-dir",
     )
     add_json_argument(parser)
+    add_obs_arguments(parser)
     return parser
 
 
@@ -126,25 +136,31 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         target_level=args.level,
         seed=args.seed,
     )
+    registry = metrics_registry(args.emit_metrics)
     try:
-        if _wants_runtime(args):
-            retry = (
-                RetryPolicy(max_attempts=args.retries + 1)
-                if args.retries is not None
-                else RetryPolicy()
-            )
-            with CampaignRuntime(
-                jobs=args.jobs or 1,
-                timeout_s=args.timeout,
-                retry=retry,
-                checkpoint_dir=args.checkpoint_dir,
-                resume=args.resume,
-            ) as runtime:
-                result = FaultCampaign(config).run(runtime=runtime)
-        else:
-            result = FaultCampaign(config).run()
+        with open_sink(args.trace_out) as sink:
+            if _wants_runtime(args):
+                retry = (
+                    RetryPolicy(max_attempts=args.retries + 1)
+                    if args.retries is not None
+                    else RetryPolicy()
+                )
+                with CampaignRuntime(
+                    jobs=args.jobs or 1,
+                    timeout_s=args.timeout,
+                    retry=retry,
+                    checkpoint_dir=args.checkpoint_dir,
+                    resume=args.resume,
+                ) as runtime:
+                    result = FaultCampaign(config, obs=sink).run(
+                        runtime=runtime
+                    )
+            else:
+                result = FaultCampaign(config, obs=sink).run()
     except ReproError as exc:
         return fail(f"campaign failed: {exc}")
+    if registry is not None:
+        result.export_metrics(registry)
 
     counts = result.counts
     print(f"scheme={args.scheme} benchmark={args.benchmark} "
@@ -159,6 +175,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             print(f"            trial {failure.trial_index} "
                   f"[{failure.kind} x{failure.attempts}]: {failure.message}")
     emit_json(args.json, _summary_payload(args, result))
+    emit_metrics(args.emit_metrics, registry)
     return resolve_exit(partial=not result.complete)
 
 

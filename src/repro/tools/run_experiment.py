@@ -22,6 +22,7 @@ from ..harness import (
     table3,
 )
 from ..workloads import benchmark_names
+from ._cli import add_obs_arguments, emit_metrics, metrics_registry, open_sink
 
 EXPERIMENTS = ("fig10", "fig11", "fig12", "table2", "table3", "all")
 
@@ -47,6 +48,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--output", "-o", type=pathlib.Path, default=None,
         help="directory to archive the tables into (optional)",
     )
+    add_obs_arguments(parser)
     return parser
 
 
@@ -76,10 +78,16 @@ def _tables_for(experiment: str, runs) -> dict:
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    runs = run_all_benchmarks(
-        n_references=args.references, seed=args.seed,
-        benchmarks=args.benchmarks,
-    )
+    registry = metrics_registry(args.emit_metrics)
+    with open_sink(args.trace_out) as sink:
+        runs = run_all_benchmarks(
+            n_references=args.references, seed=args.seed,
+            benchmarks=args.benchmarks, obs=sink,
+        )
+    if registry is not None:
+        for run in runs:
+            run.l1.export_metrics(registry, prefix=f"{run.name}.l1.")
+            run.l2.export_metrics(registry, prefix=f"{run.name}.l2.")
     tables = _tables_for(args.experiment, runs)
     for name, text in tables.items():
         print(text)
@@ -90,6 +98,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.output is not None:
         print(f"archived {len(tables)} table(s) under {args.output}",
               file=sys.stderr)
+    emit_metrics(args.emit_metrics, registry)
     return 0
 
 

@@ -34,7 +34,14 @@ from typing import Optional, Sequence
 
 from ..faults import CampaignConfig, FaultCampaign, scheme_factory
 from ..runtime import CampaignRuntime, campaign_digest
-from ._cli import EXIT_OK, fail
+from ._cli import (
+    EXIT_OK,
+    add_obs_arguments,
+    emit_metrics,
+    fail,
+    metrics_registry,
+    open_sink,
+)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -57,6 +64,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--kill-after-records", type=int, default=1,
         help="SIGKILL once this many trials are durably recorded",
     )
+    add_obs_arguments(parser)
     return parser
 
 
@@ -82,6 +90,14 @@ def _count_records(log_path: Path) -> int:
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    registry = metrics_registry(args.emit_metrics)
+    with open_sink(args.trace_out) as sink:
+        status = _run(args, sink, registry)
+    emit_metrics(args.emit_metrics, registry)
+    return status
+
+
+def _run(args, sink, registry) -> int:
     workdir = Path(args.workdir or tempfile.mkdtemp(prefix="repro-smoke-"))
     workdir.mkdir(parents=True, exist_ok=True)
 
@@ -100,7 +116,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     with CampaignRuntime(
         jobs=1, checkpoint_dir=workdir / "reference"
     ) as runtime:
-        reference = FaultCampaign(config).run(runtime=runtime)
+        reference = FaultCampaign(config, obs=sink).run(runtime=runtime)
     if not reference.complete:
         return fail("reference campaign did not complete")
     print(f"reference summary: {reference.summary()}")
@@ -137,6 +153,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     recorded = _count_records(log_path)
     print(f"killed child after {recorded} durable trial(s)")
+    if sink.enabled:
+        sink.emit(
+            "smoke", "killed",
+            {"durable_trials": recorded, "configured_trials": args.trials},
+        )
     if recorded >= args.trials:
         return fail("kill landed too late: every trial was already recorded")
 
@@ -144,7 +165,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     with CampaignRuntime(
         jobs=1, checkpoint_dir=interrupted_dir, resume=True
     ) as runtime:
-        resumed = FaultCampaign(config).run(runtime=runtime)
+        resumed = FaultCampaign(config, obs=sink).run(runtime=runtime)
 
     # 4. Bit-identical equivalence: same per-trial outcomes, same rates.
     reference_trials = [vars(t) for t in reference.trials]
@@ -157,6 +178,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return fail("resumed campaign is not complete")
     print("resume matches uninterrupted reference: "
           + json.dumps(resumed.summary(), sort_keys=True))
+    if registry is not None:
+        resumed.export_metrics(registry)
     return EXIT_OK
 
 

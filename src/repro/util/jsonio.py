@@ -1,0 +1,26 @@
+"""Checksummed canonical-JSON line records.
+
+The writer discipline shared by campaign checkpoints
+(:class:`repro.runtime.checkpoint.CheckpointStore`) and trace sinks
+(:class:`repro.obs.JsonlSink`): each record is one line of canonical JSON
+(sorted keys, no whitespace) carrying a short content checksum, so a
+reader can detect corruption and distinguish a torn tail line (crash
+mid-append) from damage anywhere earlier.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+
+
+def canonical_json(payload: dict) -> str:
+    """Canonical single-line JSON rendering of ``payload``."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def line_checksum(payload: dict) -> str:
+    """Content checksum of one record (sha256 prefix of its canonical form)."""
+    return hashlib.sha256(
+        canonical_json(payload).encode("utf-8")
+    ).hexdigest()[:16]

@@ -16,6 +16,7 @@ invariant word-for-word.
 from __future__ import annotations
 
 import dataclasses
+import time
 from typing import Dict, Iterable, List, Optional
 
 from ..cppc.protection import CppcProtection
@@ -179,6 +180,10 @@ class FastReplay:
             configuration (as :class:`~repro.cppc.CppcProtection`).
         equivalence: cross-check mode.
         equivalence_limit: reference-count cutoff for ``"auto"``.
+        obs: optional :class:`repro.obs.TraceSink`; the engine emits
+            per-chunk spans into it, and the run/cross-check phases get
+            spans of their own.  Trace emission never feeds back into
+            simulation state, so equivalence results are unchanged.
     """
 
     MODES = ("auto", "always", "never")
@@ -194,6 +199,7 @@ class FastReplay:
         num_classes: int = 8,
         equivalence: str = "auto",
         equivalence_limit: int = 2048,
+        obs=None,
     ):
         if equivalence not in self.MODES:
             raise ConfigurationError(
@@ -210,6 +216,8 @@ class FastReplay:
             byte_shifting=byte_shifting,
             num_classes=num_classes,
         )
+        self.engine.obs = obs
+        self.obs = obs
         self.num_pairs = num_pairs
         self.byte_shifting = byte_shifting
         self.num_classes = num_classes
@@ -236,6 +244,8 @@ class FastReplay:
     def run(self, records: Iterable[TraceRecord]) -> FastReplayResult:
         """Replay ``records``; cross-check against the scalar cache when
         the equivalence mode says so."""
+        obs = self.obs if self.obs is not None and self.obs.enabled else None
+        t0 = time.perf_counter() if obs is not None else 0.0
         records = materialize(records)
         batch = self.engine.replay(BatchTrace.from_records(records))
         summary = ReplayResult(
@@ -248,8 +258,25 @@ class FastReplay:
             self.equivalence == "auto"
             and len(records) <= self.equivalence_limit
         )
+        if obs is not None:
+            obs.span(
+                "replay",
+                "fast-replay",
+                t0,
+                time.perf_counter() - t0,
+                {"references": batch.references, "checked": check},
+            )
         if check:
+            t0 = time.perf_counter() if obs is not None else 0.0
             problems = self._cross_check(records, batch)
+            if obs is not None:
+                obs.span(
+                    "replay",
+                    "cross-check",
+                    t0,
+                    time.perf_counter() - t0,
+                    {"problems": len(problems)},
+                )
             if problems:
                 raise EquivalenceError(
                     "batch replay diverged from the scalar cache:\n  "

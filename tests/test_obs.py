@@ -1,0 +1,148 @@
+"""Tests for repro.obs sinks and the metrics registry."""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError, ReproError
+from repro.obs import (
+    ChromeTraceSink,
+    JsonlSink,
+    MetricsRegistry,
+    NullSink,
+    make_sink,
+    read_jsonl_trace,
+)
+from repro.obs.metrics import Log2Histogram, log2_bucket
+
+
+class TestJsonlSink:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with JsonlSink(path) as sink:
+            sink.emit("cache", "load", {"addr": 64, "hit": True}, ts=1.0)
+            sink.span("batch", "decompose", 2.0, 0.5, {"sets": 16})
+            assert sink.events_written == 2
+        events = list(read_jsonl_trace(path))
+        assert [e["ph"] for e in events] == ["i", "X"]
+        assert events[0]["cat"] == "cache"
+        assert events[0]["args"] == {"addr": 64, "hit": True}
+        assert events[1]["dur"] == 0.5
+
+    def test_category_filter(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with JsonlSink(path) as sink:
+            sink.emit("cache", "load", ts=0.0)
+            sink.emit("campaign", "trial", ts=0.0)
+        only = list(read_jsonl_trace(path, category="campaign"))
+        assert [e["cat"] for e in only] == ["campaign"]
+
+    def test_torn_tail_is_dropped(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with JsonlSink(path) as sink:
+            sink.emit("cache", "load", ts=0.0)
+            sink.emit("cache", "store", ts=0.0)
+        text = path.read_text()
+        path.write_text(text[: len(text) // 2 + len(text) // 4])
+        events = list(read_jsonl_trace(path))
+        assert [e["name"] for e in events] == ["load"]
+
+    def test_corruption_before_tail_raises(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with JsonlSink(path) as sink:
+            for i in range(3):
+                sink.emit("cache", f"event-{i}", ts=0.0)
+        lines = path.read_text().splitlines()
+        lines[1] = lines[1].replace('"event-1"', '"tampered"')
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(ReproError, match="corrupt trace event"):
+            list(read_jsonl_trace(path))
+
+    def test_emit_after_close_raises(self, tmp_path):
+        sink = JsonlSink(tmp_path / "trace.jsonl")
+        sink.close()
+        with pytest.raises(ReproError, match="closed"):
+            sink.emit("cache", "load")
+
+    def test_bad_fsync_interval_rejected(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            JsonlSink(tmp_path / "t.jsonl", fsync_every=0)
+
+
+class TestChromeTraceSink:
+    def test_document_structure(self, tmp_path):
+        path = tmp_path / "spans.json"
+        with ChromeTraceSink(path) as sink:
+            sink.emit("cache", "miss", {"addr": 0}, ts=10.0)
+            sink.span("replay", "fast-replay", 10.0, 0.25)
+        document = json.loads(path.read_text())
+        events = document["traceEvents"]
+        assert events[0]["ph"] == "M"  # process-name metadata
+        spans = [e for e in events if e["ph"] == "X"]
+        instants = [e for e in events if e["ph"] == "i"]
+        assert len(spans) == 1 and len(instants) == 1
+        # Timestamps rebase to the first event and convert to microseconds.
+        assert instants[0]["ts"] == 0.0
+        assert spans[0]["dur"] == pytest.approx(250_000.0)
+
+    def test_emit_after_close_raises(self, tmp_path):
+        sink = ChromeTraceSink(tmp_path / "spans.json")
+        sink.close()
+        with pytest.raises(ReproError, match="closed"):
+            sink.emit("cache", "load")
+
+
+class TestMakeSink:
+    def test_dispatch(self, tmp_path):
+        assert isinstance(make_sink(None), NullSink)
+        assert isinstance(make_sink(tmp_path / "a.json"), ChromeTraceSink)
+        assert isinstance(make_sink(tmp_path / "a.jsonl"), JsonlSink)
+
+    def test_null_sink_is_disabled(self):
+        assert make_sink(None).enabled is False
+        assert JsonlSink.enabled is True
+
+
+class TestMetrics:
+    def test_log2_buckets(self):
+        assert log2_bucket(0) == 0
+        assert log2_bucket(1) == 0
+        assert log2_bucket(2) == 1
+        assert log2_bucket(3) == 1
+        assert log2_bucket(1024) == 10
+
+    def test_counter_is_monotone(self):
+        registry = MetricsRegistry()
+        registry.counter("hits").inc()
+        registry.counter("hits").inc(4)
+        assert registry.counter("hits").value == 5
+        with pytest.raises(ConfigurationError):
+            registry.counter("hits").inc(-1)
+
+    def test_histogram_merge_counts_toward_count_not_total(self):
+        histogram = Log2Histogram()
+        histogram.record(8.0)
+        histogram.merge_buckets({3: 2})
+        assert histogram.count == 3
+        assert histogram.total == 8.0
+        assert histogram.pairs() == [[3, 3]]
+
+    def test_merge_counts_typing(self):
+        registry = MetricsRegistry()
+        registry.merge_counts(
+            [("hits", 3), ("rate", 0.5), ("enabled", True)], prefix="l1."
+        )
+        snap = registry.snapshot()
+        assert snap["counters"] == {"l1.hits": 3}
+        assert snap["gauges"] == {"l1.enabled": 1.0, "l1.rate": 0.5}
+
+    def test_snapshot_is_json_exact(self):
+        registry = MetricsRegistry()
+        registry.counter("b").inc(2)
+        registry.counter("a").inc(1)
+        registry.gauge("g").set(0.25)
+        registry.histogram("h").record(5, count=3)
+        snap = registry.snapshot()
+        assert snap == json.loads(json.dumps(snap))
+        assert list(snap["counters"]) == ["a", "b"]
+        assert snap["histograms"]["h"] == [[2, 3]]

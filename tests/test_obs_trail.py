@@ -1,0 +1,140 @@
+"""Tests for the CPPC recovery audit trail: bounded, streamed, replayable."""
+
+import copy
+import json
+import random
+
+import pytest
+
+from repro.cppc import CppcProtection
+from repro.errors import ConfigurationError
+from repro.memsim.types import UnitLocation
+from repro.obs import (
+    JsonlSink,
+    RecoveryAuditTrail,
+    read_jsonl_trace,
+    reconstruct_corrections,
+    verify_audit,
+)
+
+from conftest import fill_random, make_cppc_cache, make_tiny_cache
+
+
+def _trigger_recovery(cache, addr=0, mask=1 << 63):
+    cache.store(addr, b"\x5a" * 8)
+    cache.corrupt_data(cache.locate(addr), mask)
+    assert cache.load(addr, 8).data == b"\x5a" * 8
+
+
+class TestBoundedRecoveryLog:
+    def test_log_and_trail_stay_bounded(self):
+        protection = CppcProtection(data_bits=64, audit_maxlen=3)
+        cache, _ = make_tiny_cache(protection)
+        for i in range(8):
+            _trigger_recovery(cache, addr=i * 8)
+        assert protection.recoveries == 8  # monotone, never truncated
+        assert len(protection.recovery_log) == 3
+        assert len(protection.audit_trail) == 3
+        assert protection.audit_trail.total_recorded == 8
+        # The resident entries are the newest ones.
+        newest = protection.audit_trail[-1]
+        assert tuple(newest["trigger"]) == tuple(cache.locate(7 * 8))
+
+    def test_trail_rejects_non_positive_maxlen(self):
+        with pytest.raises(ConfigurationError):
+            RecoveryAuditTrail(maxlen=0)
+
+
+class TestAuditPayload:
+    def test_verifies_and_survives_json(self):
+        cache, _ = make_cppc_cache()
+        _trigger_recovery(cache)
+        audit = cache.protection.audit_trail.latest
+        assert verify_audit(audit) == []
+        round_tripped = json.loads(json.dumps(audit))
+        assert round_tripped == audit
+        assert verify_audit(round_tripped) == []
+
+    def test_reconstructs_the_repaired_word(self):
+        cache, _ = make_cppc_cache()
+        _trigger_recovery(cache)
+        audit = cache.protection.audit_trail.latest
+        corrections = reconstruct_corrections(audit)
+        loc = tuple(cache.locate(0))
+        assert corrections == {loc: int.from_bytes(b"\x5a" * 8, "big")}
+
+    def test_tampered_delta_is_caught(self):
+        cache, _ = make_cppc_cache()
+        _trigger_recovery(cache)
+        audit = copy.deepcopy(cache.protection.audit_trail.latest)
+        audit["pairs"][0]["corrections"][0]["delta"] ^= 1
+        assert verify_audit(audit)
+
+    def test_tampered_residue_is_caught(self):
+        cache, _ = make_cppc_cache()
+        _trigger_recovery(cache)
+        audit = copy.deepcopy(cache.protection.audit_trail.latest)
+        audit["pairs"][0]["residue"] ^= 0xFF
+        assert any("residue" in p for p in verify_audit(audit))
+
+
+class TestStreamedTrail:
+    def test_sink_receives_every_audit_past_the_bound(self, tmp_path):
+        protection = CppcProtection(data_bits=64, audit_maxlen=2)
+        cache, _ = make_tiny_cache(protection)
+        path = tmp_path / "trace.jsonl"
+        with JsonlSink(path) as sink:
+            cache.set_observer(sink)
+            for i in range(5):
+                _trigger_recovery(cache, addr=i * 8)
+        audits = [
+            e["args"]
+            for e in read_jsonl_trace(path, category="cppc.recovery")
+            if e["name"] == "audit"
+        ]
+        # The deque wrapped, but the stream kept the full history.
+        assert len(audits) == 5
+        assert len(protection.audit_trail) == 2
+        for audit in audits:
+            assert verify_audit(audit) == []
+
+    def test_emitted_trail_reconstructs_every_repaired_word(self, tmp_path):
+        """Acceptance: replay the JSONL trail against the live cache.
+
+        Every correction in the emitted audit records must re-derive the
+        exact repaired word, and the post-recovery registers must satisfy
+        the R1^R2 invariant (``dirty_xor_expected``) — the trail is a
+        faithful transcript of recovery, not a parallel bookkeeping path.
+        """
+        cache, _ = make_cppc_cache()
+        rng = random.Random(7)
+        golden = fill_random(cache, cache.next_level, rng, n_stores=40)
+        path = tmp_path / "trace.jsonl"
+        with JsonlSink(path) as sink:
+            cache.set_observer(sink)
+            victims = [loc for loc, _v in cache.iter_dirty_units()][:3]
+            for bit, loc in enumerate(victims):
+                cache.corrupt_data(loc, 1 << (40 + bit))
+                cache.load(cache.address_of(loc), 8)
+        audits = [
+            e["args"]
+            for e in read_jsonl_trace(path, category="cppc.recovery")
+            if e["name"] == "audit"
+        ]
+        assert len(audits) == len(victims)
+        repaired = {}
+        for audit in audits:
+            assert verify_audit(audit) == []
+            repaired.update(reconstruct_corrections(audit))
+        assert set(repaired) >= {tuple(loc) for loc in victims}
+        for loc_tuple, value in repaired.items():
+            loc = UnitLocation(*loc_tuple)
+            stored, check, _ = cache.peek_unit(loc)
+            assert stored == value
+            assert not cache.protection.inspect(stored, check).detected
+            addr = cache.address_of(loc)
+            if addr in golden:
+                assert value == int.from_bytes(golden[addr], "big")
+        protection = cache.protection
+        for i, pair in enumerate(protection.registers.pairs):
+            assert pair.dirty_xor == protection.dirty_xor_expected(i)
