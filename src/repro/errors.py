@@ -97,6 +97,16 @@ class CheckpointCorruptError(CampaignRuntimeError):
     the campaign being resumed)."""
 
 
+class SnapshotError(ReproError):
+    """A simulator state snapshot could not be taken or restored.
+
+    Raised by :mod:`repro.memsim.snapshot` when a cache uses a protection
+    scheme or replacement policy the snapshot layer does not know how to
+    serialize, or when a snapshot is restored into a hierarchy whose
+    geometry or scheme does not match the one it was taken from.
+    """
+
+
 class EquivalenceError(SimulationError):
     """The batch fast path and the scalar simulator disagreed.
 

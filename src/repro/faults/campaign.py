@@ -23,7 +23,12 @@ import itertools
 import time
 from typing import Callable, Dict, List, Optional, Tuple
 
-from ..errors import ConfigurationError, TrialCrashError, UncorrectableError
+from ..errors import (
+    ConfigurationError,
+    EquivalenceError,
+    TrialCrashError,
+    UncorrectableError,
+)
 from ..memsim.hierarchy import MemoryHierarchy
 from ..memsim.protection import CacheProtection
 from ..util.rng import split_seed
@@ -57,6 +62,12 @@ class CampaignConfig:
         dirty_only: restrict temporal faults to dirty units.
         target_level: "L1D" or "L2".
         seed: base seed; trial ``i`` derives its own streams.
+        shared_warmup: drive every trial with the *same* workload trace
+            (seeded once per campaign) instead of a fresh trace per
+            trial.  Injection seeds stay per-trial, so trials remain
+            independent samples over fault sites; sharing the trace is
+            what lets the snapshot-fork fast path warm up once (see
+            :mod:`repro.faults.warmstate`).
     """
 
     scheme_factory: Callable[[str, int], CacheProtection]
@@ -69,6 +80,7 @@ class CampaignConfig:
     dirty_only: bool = False
     target_level: str = "L1D"
     seed: int = 0
+    shared_warmup: bool = False
 
     def __post_init__(self):
         if self.fault_kind not in ("temporal", "spatial"):
@@ -91,6 +103,16 @@ class CampaignConfig:
         a recorded trial.
         """
         return split_seed(self.seed, "trial", trial)
+
+    def workload_seed(self, trial: int):
+        """Seed material for trial ``trial``'s workload trace.
+
+        Per-trial by default; one shared stream under ``shared_warmup``
+        (the injection seed stays per-trial either way).
+        """
+        if self.shared_warmup:
+            return (self.seed, "shared-warmup")
+        return (self.seed, trial)
 
 
 @dataclasses.dataclass
@@ -202,11 +224,40 @@ class FaultCampaign:
         obs: optional :class:`repro.obs.TraceSink`.  Sequential runs
             attach it to every trial's hierarchy (hit/miss/recovery
             events stream out live) and wrap each trial in a span.
+        fast: fork every trial from a cached warm snapshot instead of
+            re-simulating the warmup prefix (requires
+            ``config.shared_warmup``; see :mod:`repro.faults.warmstate`).
+            Per-trial results are bit-identical to the legacy path.
+        fast_equivalence: ``"never"`` (default) trusts the fast path;
+            ``"always"`` *also* runs the legacy warm-every-trial path for
+            every trial and raises :class:`~repro.errors.EquivalenceError`
+            on any per-trial divergence (validation harness mode).
     """
 
-    def __init__(self, config: CampaignConfig, obs=None):
+    EQUIVALENCE_MODES = ("never", "always")
+
+    def __init__(
+        self,
+        config: CampaignConfig,
+        obs=None,
+        *,
+        fast: bool = False,
+        fast_equivalence: str = "never",
+    ):
+        if fast and not config.shared_warmup:
+            raise ConfigurationError(
+                "the snapshot-fork fast path needs shared_warmup=True: "
+                "per-trial workload traces have nothing to share"
+            )
+        if fast_equivalence not in self.EQUIVALENCE_MODES:
+            raise ConfigurationError(
+                f"fast_equivalence must be one of {self.EQUIVALENCE_MODES}, "
+                f"got {fast_equivalence!r}"
+            )
         self.config = config
         self.obs = obs
+        self.fast = fast
+        self.fast_equivalence = fast_equivalence
 
     def _obs_or_none(self):
         return self.obs if self.obs is not None and self.obs.enabled else None
@@ -224,7 +275,13 @@ class FaultCampaign:
         if runtime is not None:
             from ..runtime.campaign import run_campaign
 
-            return run_campaign(self.config, runtime, obs=self.obs)
+            return run_campaign(
+                self.config,
+                runtime,
+                obs=self.obs,
+                fast=self.fast,
+                fast_equivalence=self.fast_equivalence,
+            )
         obs = self._obs_or_none()
         result = CampaignResult(config=self.config)
         for trial in range(self.config.trials):
@@ -246,17 +303,32 @@ class FaultCampaign:
         return result
 
     # ------------------------------------------------------------------
-    def _run_trial(self, trial: int) -> TrialResult:
+    def _run_trial(self, trial: int, warm=None) -> TrialResult:
         """Run one trial; unexpected exceptions become structured crashes.
 
         ``KeyboardInterrupt`` is always re-raised (an interrupt is a user
         action, never an outcome); any other unexpected exception is
         wrapped in a :class:`TrialCrashError` carrying the trial index
         and derived seed so drivers can report *which* trial died.
+
+        ``warm`` optionally supplies a pre-built
+        :class:`~repro.faults.warmstate.WarmState` for the fast path
+        (worker processes pass their digest-cached one); without it the
+        fast path consults the module-level warm cache.
         """
         try:
-            return self._classify_trial(trial)
+            if self.fast:
+                result = self._classify_trial_fast(trial, warm)
+                if self.fast_equivalence == "always":
+                    _check_trial_equivalence(
+                        trial, result, self._classify_trial(trial)
+                    )
+            else:
+                result = self._classify_trial(trial)
+            return result
         except KeyboardInterrupt:
+            raise
+        except EquivalenceError:
             raise
         except UncorrectableError as exc:
             # A DUE escaping the classification paths below would be a
@@ -285,7 +357,7 @@ class FaultCampaign:
         replayer = TraceReplayer(
             hierarchy, golden=golden, check_loads=True
         )
-        workload = make_workload(cfg.benchmark, seed=(cfg.seed, trial))
+        workload = make_workload(cfg.benchmark, seed=cfg.workload_seed(trial))
         records = workload.records(
             cfg.warmup_references + cfg.post_fault_references
         )
@@ -300,6 +372,40 @@ class FaultCampaign:
         except UncorrectableError as exc:
             return TrialResult(outcome=Outcome.DUE, detail=f"warmup: {exc}")
 
+        return self._finish_trial(trial, hierarchy, golden, replayer, records)
+
+    def _classify_trial_fast(self, trial: int, warm=None) -> TrialResult:
+        """Fork the cached warm state and simulate only the suffix.
+
+        Bit-identical to :meth:`_classify_trial` under ``shared_warmup``:
+        the restored hierarchy, golden image and cycle clock match the
+        warmed-up originals exactly, and the injection RNG depends only
+        on ``(seed, trial)`` plus the (identical) resident cache state.
+        The observer, if any, sees injection/classification events but
+        not the warmup prefix (simulated once, not per trial).
+        """
+        if warm is None:
+            from .warmstate import warm_state_for
+
+            warm = warm_state_for(self.config)
+        hierarchy, golden, replayer = warm.fork()
+        obs = self._obs_or_none()
+        if obs is not None:
+            hierarchy.set_observer(obs)
+        return self._finish_trial(
+            trial, hierarchy, golden, replayer, iter(warm.suffix_records)
+        )
+
+    def _finish_trial(
+        self, trial: int, hierarchy, golden, replayer, records
+    ) -> TrialResult:
+        """Inject into a warmed-up hierarchy, replay the suffix, classify.
+
+        ``records`` yields the post-warmup suffix only — the shared tail
+        of the legacy and snapshot-fork paths.
+        """
+        cfg = self.config
+        obs = self._obs_or_none()
         target = hierarchy.l1d if cfg.target_level == "L1D" else hierarchy.l2
         injector = FaultInjector(target, seed=(cfg.seed, trial))
         injection = self._inject(injector)
@@ -359,3 +465,23 @@ class FaultCampaign:
             return injector.random_temporal(dirty_only=cfg.dirty_only)
         height, width = cfg.spatial_shape
         return injector.random_spatial(height=height, width=width)
+
+
+def _check_trial_equivalence(
+    trial: int, fast: TrialResult, legacy: TrialResult
+) -> None:
+    """Raise :class:`EquivalenceError` when the two paths disagree."""
+    mismatches = [
+        f"trial {trial} {field.name}: fast={mine!r} legacy={theirs!r}"
+        for field in dataclasses.fields(TrialResult)
+        for mine, theirs in [
+            (getattr(fast, field.name), getattr(legacy, field.name))
+        ]
+        if mine != theirs
+    ]
+    if mismatches:
+        raise EquivalenceError(
+            "snapshot-fork trial diverged from the legacy path:\n  "
+            + "\n  ".join(mismatches),
+            mismatches=mismatches,
+        )

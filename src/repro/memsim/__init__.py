@@ -30,6 +30,20 @@ from .replacement import (
     make_policy,
 )
 from .scrub import EarlyWritebackScrubber, ScrubberStats
+from .snapshot import (
+    CacheSnapshot,
+    HierarchySnapshot,
+    LineSnapshot,
+    MemorySnapshot,
+    PolicySnapshot,
+    SnapshotCache,
+    restore_cache,
+    restore_hierarchy,
+    restore_memory,
+    snapshot_cache,
+    snapshot_hierarchy,
+    snapshot_memory,
+)
 from .stats import CacheStats
 from .types import AccessResult, AccessType, UnitLocation
 
@@ -40,6 +54,7 @@ from .batch import (  # noqa: E402
     BatchReplayResult,
     BatchTrace,
     LineState,
+    ReplayCapture,
     cross_check_scalar,
     snapshot_scalar_cache,
 )
@@ -50,8 +65,21 @@ __all__ = [
     "BatchReplayResult",
     "BatchTrace",
     "LineState",
+    "ReplayCapture",
     "cross_check_scalar",
     "snapshot_scalar_cache",
+    "CacheSnapshot",
+    "HierarchySnapshot",
+    "LineSnapshot",
+    "MemorySnapshot",
+    "PolicySnapshot",
+    "SnapshotCache",
+    "restore_cache",
+    "restore_hierarchy",
+    "restore_memory",
+    "snapshot_cache",
+    "snapshot_hierarchy",
+    "snapshot_memory",
     "BoundedQueue",
     "PendingStore",
     "PendingVictim",

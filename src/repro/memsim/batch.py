@@ -175,6 +175,39 @@ class BatchTrace:
             raise AlignmentError("batch replay needs naturally aligned accesses")
 
 
+class ReplayCapture:
+    """Side-channel record of everything :class:`BatchReplayResult` omits.
+
+    A campaign warm-up replayed through the batch engine must afterwards
+    be *rehydrated* into a full scalar hierarchy (see
+    :mod:`repro.faults.warmstate`).  The result bundle carries final L1
+    lines, stats and registers, but not the next-level traffic (needed to
+    warm the L2 behind it), the per-unit ``Tavg`` timestamps, or the
+    final LRU orders.  Passing a capture to :meth:`BatchReplayEngine.replay`
+    collects them:
+
+    Attributes:
+        events: next-level block traffic, one tuple per miss read /
+            dirty write-back — ``(access_index, kind, mem_slot, cycle,
+            block_words)`` with ``kind`` 0 for a read (``block_words``
+            None) and 1 for a write.  Sorted into global access order
+            (stable, so a miss's read precedes its victim's write-back,
+            exactly the scalar ``Cache`` order).
+        lru: final MRU-to-LRU way order per touched set.
+        line_last: final ``[set][way] -> [unit] -> last dirty cycle``
+            state (None for never-filled ways).
+        slot_addr: byte address of each memory-image slot.
+        final_cycle: cycle of the last access (0 for an empty trace).
+    """
+
+    def __init__(self):
+        self.events: List[tuple] = []
+        self.lru: Dict[int, List[int]] = {}
+        self.line_last: Optional[list] = None
+        self.slot_addr: Optional[List[int]] = None
+        self.final_cycle: int = 0
+
+
 @dataclasses.dataclass(frozen=True)
 class LineState:
     """Final contents of one cache line after a batch replay."""
@@ -297,8 +330,17 @@ class BatchReplayEngine:
     # ------------------------------------------------------------------
     # Phases 2+3 — per-set resolution and bulk reduction
     # ------------------------------------------------------------------
-    def replay(self, trace: BatchTrace) -> BatchReplayResult:
-        """Replay ``trace`` and return the full result bundle."""
+    def replay(
+        self,
+        trace: BatchTrace,
+        capture: Optional[ReplayCapture] = None,
+    ) -> BatchReplayResult:
+        """Replay ``trace`` and return the full result bundle.
+
+        With a :class:`ReplayCapture`, the next-level traffic and final
+        microarchitectural details needed to rebuild a scalar hierarchy
+        are recorded as a side effect (simulation outcomes unchanged).
+        """
         trace.validate()
         n = len(trace)
         obs = self.obs if self.obs is not None and self.obs.enabled else None
@@ -389,6 +431,7 @@ class BatchReplayEngine:
                     intervals,
                     delta_idx,
                     delta_val,
+                    capture=capture,
                 )
             if obs is not None:
                 obs.span(
@@ -402,6 +445,14 @@ class BatchReplayEngine:
                     },
                 )
 
+        if capture is not None:
+            # Stable sort: within one access the miss read was appended
+            # before the victim write-back, matching the scalar order.
+            capture.events.sort(key=lambda e: e[0])
+            capture.line_last = line_last
+            bb = self.block_bytes
+            capture.slot_addr = [int(a) * bb for a in unique_blocks]
+            capture.final_cycle = int(cycles[-1]) if n else 0
         t_phase = time.perf_counter() if obs is not None else 0.0
         stats = self._reduce_stats(
             n,
@@ -463,6 +514,7 @@ class BatchReplayEngine:
         intervals: List[int],
         delta_idx: List[int],
         delta_val: List[int],
+        capture: Optional[ReplayCapture] = None,
     ) -> None:
         """Resolve one set's access sequence over flat list state.
 
@@ -486,6 +538,7 @@ class BatchReplayEngine:
         iva = intervals.append
         dia = delta_idx.append
         dva = delta_val.append
+        ev = capture.events.append if capture is not None else None
 
         for i, t, u, cls_i, st, now, slot, word, msk in zip(
             idxs, tags, units, classes, is_store, cycles, slots, words, masks
@@ -507,6 +560,8 @@ class BatchReplayEngine:
                 else:
                     c.read_misses += 1
                 c.mem_reads += 1
+                if ev is not None:
+                    ev((i, 0, slot, now, None))
                 # Victim: first invalid way, else LRU tail.
                 v = -1
                 for cand in way_range:
@@ -524,6 +579,8 @@ class BatchReplayEngine:
                                 r2v(victim_data[uu])
                                 r2c((cls_base + uu) % num_classes)
                         memimg[lslot[v]] = victim_data
+                        if ev is not None:
+                            ev((i, 1, lslot[v], now, victim_data))
                         c.mem_writes += 1
                         c.writebacks += 1
                         c.evictions_dirty += 1
@@ -570,6 +627,8 @@ class BatchReplayEngine:
             if lru[0] != w:
                 lru.remove(w)
                 lru.insert(0, w)
+        if capture is not None:
+            capture.lru[s] = lru
 
     # ------------------------------------------------------------------
     # Phase 3 — bulk reductions

@@ -108,10 +108,11 @@ class Cache:
         self.policy: ReplacementPolicy = make_policy(
             policy, self.num_sets, ways, seed=policy_seed
         )
-        self._lines: List[List[CacheLine]] = [
-            [CacheLine(block_bytes, self.units_per_block) for _ in range(ways)]
-            for _ in range(self.num_sets)
-        ]
+        # Line rows are materialized on first touch: a trace only visits
+        # a fraction of a large cache's sets, so eager allocation of
+        # num_sets * ways CacheLine objects would dominate construction
+        # (and snapshot-fork) cost for short-lived hierarchies.
+        self._lines: List[Optional[List[CacheLine]]] = [None] * self.num_sets
         self.protection = protection or NoProtection()
         self.protection.attach(self)
         self.tag_protection = tag_protection
@@ -142,23 +143,36 @@ class Cache:
         """Width of one protection unit in bits."""
         return self.unit_bytes * 8
 
+    def _row(self, set_index: int) -> List[CacheLine]:
+        """The (lazily materialized) lines of one set."""
+        row = self._lines[set_index]
+        if row is None:
+            row = self._lines[set_index] = [
+                CacheLine(self.block_bytes, self.units_per_block)
+                for _ in range(self.ways)
+            ]
+        return row
+
     def line(self, set_index: int, way: int) -> CacheLine:
         """Direct access to one line (fault injection and tests)."""
-        return self._lines[set_index][way]
+        return self._row(set_index)[way]
 
     def locate(self, addr: int) -> Optional[UnitLocation]:
         """Location of the unit holding ``addr``, or None if not resident."""
         set_index = self.mapper.set_index(addr)
+        row = self._lines[set_index]
+        if row is None:
+            return None
         tag = self.mapper.tag(addr)
         for way in range(self.ways):
-            ln = self._lines[set_index][way]
+            ln = row[way]
             if ln.valid and ln.tag == tag:
                 return UnitLocation(set_index, way, self.mapper.unit_index(addr))
         return None
 
     def address_of(self, loc: UnitLocation) -> int:
         """Byte address of the first byte of the unit at ``loc``."""
-        ln = self._lines[loc.set_index][loc.way]
+        ln = self._row(loc.set_index)[loc.way]
         base = self.mapper.rebuild_address(ln.tag, loc.set_index)
         return base + loc.unit_index * self.unit_bytes
 
@@ -175,7 +189,7 @@ class Cache:
 
     def peek_unit(self, loc: UnitLocation) -> Tuple[int, int, bool]:
         """(value, check, dirty) of the unit at ``loc`` without an access."""
-        ln = self._lines[loc.set_index][loc.way]
+        ln = self._row(loc.set_index)[loc.way]
         if not ln.valid:
             raise SimulationError(f"{self.name}: no valid line at {loc}")
         return (
@@ -186,14 +200,14 @@ class Cache:
 
     def corrupt_data(self, loc: UnitLocation, xor_mask: int) -> None:
         """Flip data bits of a resident unit without touching check bits."""
-        ln = self._lines[loc.set_index][loc.way]
+        ln = self._row(loc.set_index)[loc.way]
         if not ln.valid:
             raise SimulationError(f"{self.name}: cannot corrupt invalid line {loc}")
         self._set_unit_value(ln, loc.unit_index, self._unit_value(ln, loc.unit_index) ^ xor_mask)
 
     def corrupt_check(self, loc: UnitLocation, xor_mask: int) -> None:
         """Flip stored check bits of a resident unit."""
-        ln = self._lines[loc.set_index][loc.way]
+        ln = self._row(loc.set_index)[loc.way]
         if not ln.valid:
             raise SimulationError(f"{self.name}: cannot corrupt invalid line {loc}")
         ln.check[loc.unit_index] ^= xor_mask
@@ -220,7 +234,7 @@ class Cache:
 
     def corrupt_tag(self, set_index: int, way: int, xor_mask: int) -> None:
         """Flip bits of a stored tag (tag-array fault injection)."""
-        ln = self._lines[set_index][way]
+        ln = self._row(set_index)[way]
         if not ln.valid:
             raise SimulationError(
                 f"{self.name}: cannot corrupt the tag of an invalid line"
@@ -234,7 +248,7 @@ class Cache:
         whose access triggered recovery (e.g. CPPC spatial multi-bit
         correction fixes several words in one recovery pass).
         """
-        ln = self._lines[loc.set_index][loc.way]
+        ln = self._row(loc.set_index)[loc.way]
         if not ln.valid:
             raise SimulationError(f"{self.name}: cannot repair invalid line {loc}")
         self._set_unit_value(ln, loc.unit_index, value)
@@ -243,9 +257,11 @@ class Cache:
 
     def iter_units(self) -> Iterator[Tuple[UnitLocation, int, bool]]:
         """Yield ``(location, value, dirty)`` for every valid unit."""
-        for set_index in range(self.num_sets):
+        for set_index, row in enumerate(self._lines):
+            if row is None:
+                continue
             for way in range(self.ways):
-                ln = self._lines[set_index][way]
+                ln = row[way]
                 if not ln.valid:
                     continue
                 for u in range(self.units_per_block):
@@ -341,8 +357,11 @@ class Cache:
     # Lookup / fill / evict
     # ------------------------------------------------------------------
     def _find(self, set_index: int, tag: int) -> Optional[int]:
+        row = self._lines[set_index]
+        if row is None:
+            return None
         for way in range(self.ways):
-            ln = self._lines[set_index][way]
+            ln = row[way]
             if not ln.valid:
                 continue
             if self.tag_protection is not None:
@@ -358,14 +377,15 @@ class Cache:
         return None
 
     def _pick_victim(self, set_index: int) -> int:
+        row = self._row(set_index)
         for way in range(self.ways):
-            if not self._lines[set_index][way].valid:
+            if not row[way].valid:
                 return way
         return self.policy.victim(set_index)
 
     def _evict(self, set_index: int, way: int) -> bool:
         """Remove the line at (set, way).  Returns True on a dirty writeback."""
-        ln = self._lines[set_index][way]
+        ln = self._row(set_index)[way]
         if not ln.valid:
             return False
         wrote_back = False
@@ -415,7 +435,7 @@ class Cache:
     def _fill(self, set_index: int, tag: int, block: bytes) -> int:
         way = self._pick_victim(set_index)
         self._evict(set_index, way)
-        ln = self._lines[set_index][way]
+        ln = self._row(set_index)[way]
         ln.valid = True
         ln.tag = tag
         if self.tag_protection is not None:
@@ -480,7 +500,7 @@ class Cache:
             writebacks_before = self.stats.writebacks
             way = self._fill(set_index, tag, block)
             wrote_back = self.stats.writebacks > writebacks_before
-        ln = self._lines[set_index][way]
+        ln = self._row(set_index)[way]
         detected = False
         for u in self.mapper.units_touched(addr, size):
             loc = UnitLocation(set_index, way, u)
@@ -536,7 +556,7 @@ class Cache:
             writebacks_before = self.stats.writebacks
             way = self._fill(set_index, tag, block)
             wrote_back = self.stats.writebacks > writebacks_before
-        ln = self._lines[set_index][way]
+        ln = self._row(set_index)[way]
         detected = False
         off = self.mapper.block_offset(addr)
         for u in self.mapper.units_touched(addr, size):
@@ -584,7 +604,7 @@ class Cache:
         Write-through keeps no dirty data (the reason parity alone is
         adequate for write-through L1 caches, paper Section 1).
         """
-        ln = self._lines[set_index][way]
+        ln = self._row(set_index)[way]
         base = self.mapper.rebuild_address(ln.tag, set_index)
         self.next_level.write_block(base, bytes(ln.data), cycle=now)
         self.stats.write_throughs += 1
@@ -625,7 +645,7 @@ class Cache:
         The mechanism behind early write-back schemes ([2, 15] in the
         paper) and coherence downgrades.  Returns True when data moved.
         """
-        ln = self._lines[set_index][way]
+        ln = self._row(set_index)[way]
         if not ln.valid or not ln.any_dirty():
             return False
         # The line is read for the write-back, so every unit is checked.
@@ -668,7 +688,9 @@ class Cache:
     def flush(self) -> int:
         """Write back and invalidate everything.  Returns write-back count."""
         count = 0
-        for set_index in range(self.num_sets):
+        for set_index, row in enumerate(self._lines):
+            if row is None:
+                continue
             for way in range(self.ways):
                 if self._evict(set_index, way):
                     count += 1

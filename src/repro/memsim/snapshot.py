@@ -1,0 +1,433 @@
+"""Structured snapshot/restore of simulator state for campaign forking.
+
+A fault campaign replays the same fault-free warmup prefix before every
+trial.  This module captures the complete post-warmup state of a
+:class:`~repro.memsim.cache.Cache` (data, tags, dirty bits, check words,
+replacement order, statistics, protection-scheme state) and of a whole
+:class:`~repro.memsim.hierarchy.MemoryHierarchy`, so one warm image can
+be restored into a fresh hierarchy per trial instead of re-simulating
+the prefix.
+
+The restored simulator is *bit-identical* to the original: replaying the
+same suffix produces the same access results, statistics, register
+contents and fault classifications.  Equivalence is enforced by the
+round-trip property tests and the campaign cross-check.
+
+Protection state is dispatched on the scheme's ``name``:
+
+* ``cppc`` — the (R1, R2) register pairs with their parity bits, plus
+  the ``recoveries`` / ``register_repairs`` counters.  The bounded
+  diagnostic buffers (``recovery_log``, ``audit_trail``) are *not*
+  carried: they never influence simulation outcomes, and campaign trials
+  fork from fault-free warm state where both are empty.
+* ``2d-parity`` — the vertical parity register.
+* ``none`` / ``parity`` / ``secded`` — stateless.
+
+Anything else raises :class:`~repro.errors.SnapshotError` rather than
+silently dropping state.
+
+:class:`SnapshotCache` is the LRU used to bound warm-state caches on
+both the campaign side and inside worker processes.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections import OrderedDict
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import SnapshotError
+from .cache import Cache
+from .hierarchy import MemoryHierarchy
+from .mainmem import MainMemory
+from .replacement import FIFOPolicy, LRUPolicy, RandomPolicy
+from .stats import CacheStats
+
+#: Protection schemes whose snapshot is the empty dict.
+_STATELESS_SCHEMES = ("none", "parity", "secded")
+
+
+@dataclasses.dataclass
+class LineSnapshot:
+    """One valid cache line: position plus full per-unit state."""
+
+    set_index: int
+    way: int
+    tag: int
+    tag_check: int
+    data: bytes
+    dirty: Tuple[bool, ...]
+    check: Tuple[int, ...]
+    #: Per-unit cycle of the last dirty access (``Tavg`` bookkeeping).
+    #: Values are carried verbatim (int or float) — converting would
+    #: perturb interval arithmetic and break bit-identity.
+    last_dirty_access: Tuple[Optional[float], ...]
+
+
+@dataclasses.dataclass
+class PolicySnapshot:
+    """Replacement-policy state: only what differs from a fresh policy."""
+
+    kind: str
+    #: Per-set way orders that differ from the pristine ``range(ways)``
+    #: (LRU recency / FIFO fill order).  Untouched sets are omitted.
+    orders: Dict[int, List[int]] = dataclasses.field(default_factory=dict)
+    #: ``random.getstate()`` of a :class:`RandomPolicy`, else ``None``.
+    rng_state: Optional[tuple] = None
+
+
+@dataclasses.dataclass
+class CacheSnapshot:
+    """Complete state of one cache level."""
+
+    name: str
+    size_bytes: int
+    ways: int
+    block_bytes: int
+    unit_bytes: int
+    scheme: str
+    access_counter: float
+    lines: List[LineSnapshot]
+    policy: PolicySnapshot
+    stats: dict
+    protection: dict
+
+
+@dataclasses.dataclass
+class MemorySnapshot:
+    """State of the sparse backing memory."""
+
+    blocks: Dict[int, bytes]
+    reads: int
+    writes: int
+
+
+@dataclasses.dataclass
+class HierarchySnapshot:
+    """One warm :class:`MemoryHierarchy`: every level plus main memory."""
+
+    caches: List[CacheSnapshot]
+    memory: MemorySnapshot
+
+
+# ----------------------------------------------------------------------
+# Capture
+# ----------------------------------------------------------------------
+def _snapshot_policy(cache: Cache) -> PolicySnapshot:
+    policy = cache.policy
+    pristine = list(range(cache.ways))
+    if isinstance(policy, LRUPolicy):
+        return PolicySnapshot(
+            kind="lru",
+            orders={
+                s: list(order)
+                for s, order in enumerate(policy._order)
+                if order != pristine
+            },
+        )
+    if isinstance(policy, FIFOPolicy):
+        return PolicySnapshot(
+            kind="fifo",
+            orders={
+                s: list(queue)
+                for s, queue in enumerate(policy._queues)
+                if queue != pristine
+            },
+        )
+    if isinstance(policy, RandomPolicy):
+        return PolicySnapshot(kind="random", rng_state=policy._rng.getstate())
+    raise SnapshotError(
+        f"{cache.name}: cannot snapshot replacement policy "
+        f"{type(policy).__name__}"
+    )
+
+
+def _snapshot_protection(cache: Cache) -> dict:
+    scheme = cache.protection
+    name = scheme.name
+    if name in _STATELESS_SCHEMES:
+        return {}
+    if name == "cppc":
+        return {
+            "pairs": [
+                (p.r1, p.r2, p.r1_parity, p.r2_parity)
+                for p in scheme.registers.pairs
+            ],
+            "recoveries": scheme.recoveries,
+            "register_repairs": scheme.register_repairs,
+        }
+    if name == "2d-parity":
+        return {"vertical": scheme.vertical_register.value}
+    raise SnapshotError(f"{cache.name}: cannot snapshot protection scheme {name!r}")
+
+
+def snapshot_cache(cache: Cache) -> CacheSnapshot:
+    """Capture the complete state of one cache level."""
+    if cache.tag_protection is not None:
+        raise SnapshotError(
+            f"{cache.name}: tag-protected caches are not snapshot-capable"
+        )
+    lines: List[LineSnapshot] = []
+    for set_index, row in enumerate(cache._lines):
+        if row is None:
+            continue
+        for way, ln in enumerate(row):
+            if not ln.valid:
+                continue
+            lines.append(
+                LineSnapshot(
+                    set_index=set_index,
+                    way=way,
+                    tag=ln.tag,
+                    tag_check=ln.tag_check,
+                    data=bytes(ln.data),
+                    dirty=tuple(ln.dirty),
+                    check=tuple(ln.check),
+                    last_dirty_access=tuple(ln.last_dirty_access),
+                )
+            )
+    return CacheSnapshot(
+        name=cache.name,
+        size_bytes=cache.size_bytes,
+        ways=cache.ways,
+        block_bytes=cache.block_bytes,
+        unit_bytes=cache.unit_bytes,
+        scheme=cache.protection.name,
+        access_counter=cache._access_counter,
+        lines=lines,
+        policy=_snapshot_policy(cache),
+        stats=dataclasses.asdict(cache.stats),
+        protection=_snapshot_protection(cache),
+    )
+
+
+def snapshot_memory(memory: MainMemory) -> MemorySnapshot:
+    """Capture the backing memory (blocks plus access counters)."""
+    return MemorySnapshot(
+        blocks=dict(memory._blocks),
+        reads=memory.reads,
+        writes=memory.writes,
+    )
+
+
+def snapshot_hierarchy(hierarchy: MemoryHierarchy) -> HierarchySnapshot:
+    """Capture every cache level and main memory of a hierarchy."""
+    return HierarchySnapshot(
+        caches=[snapshot_cache(level) for level in hierarchy.levels()],
+        memory=snapshot_memory(hierarchy.memory),
+    )
+
+
+# ----------------------------------------------------------------------
+# Restore
+# ----------------------------------------------------------------------
+def _check_target(snap: CacheSnapshot, cache: Cache) -> None:
+    for field in ("name", "size_bytes", "ways", "block_bytes", "unit_bytes"):
+        want = getattr(snap, field)
+        have = getattr(cache, field)
+        if want != have:
+            raise SnapshotError(
+                f"snapshot of {snap.name!r} does not fit target cache: "
+                f"{field} {want!r} != {have!r}"
+            )
+    if cache.protection.name != snap.scheme:
+        raise SnapshotError(
+            f"snapshot of {snap.name!r} was taken under scheme "
+            f"{snap.scheme!r}, target runs {cache.protection.name!r}"
+        )
+    if cache.tag_protection is not None:
+        raise SnapshotError(
+            f"{cache.name}: tag-protected caches are not snapshot-capable"
+        )
+
+
+def _restore_policy(snap: PolicySnapshot, cache: Cache) -> None:
+    policy = cache.policy
+    if snap.kind == "lru":
+        if not isinstance(policy, LRUPolicy):
+            raise SnapshotError(
+                f"{cache.name}: snapshot holds LRU state, target policy is "
+                f"{type(policy).__name__}"
+            )
+        for s, order in snap.orders.items():
+            policy._order[s] = list(order)
+        return
+    if snap.kind == "fifo":
+        if not isinstance(policy, FIFOPolicy):
+            raise SnapshotError(
+                f"{cache.name}: snapshot holds FIFO state, target policy is "
+                f"{type(policy).__name__}"
+            )
+        for s, queue in snap.orders.items():
+            policy._queues[s] = list(queue)
+        return
+    if snap.kind == "random":
+        if not isinstance(policy, RandomPolicy):
+            raise SnapshotError(
+                f"{cache.name}: snapshot holds random-policy state, target "
+                f"policy is {type(policy).__name__}"
+            )
+        policy._rng.setstate(snap.rng_state)
+        return
+    raise SnapshotError(f"unknown policy snapshot kind {snap.kind!r}")
+
+
+def _restore_protection(snap: CacheSnapshot, cache: Cache) -> None:
+    scheme = cache.protection
+    state = snap.protection
+    if snap.scheme in _STATELESS_SCHEMES:
+        return
+    if snap.scheme == "cppc":
+        pairs = scheme.registers.pairs
+        if len(state["pairs"]) != len(pairs):
+            raise SnapshotError(
+                f"{cache.name}: snapshot holds {len(state['pairs'])} CPPC "
+                f"register pairs, target has {len(pairs)}"
+            )
+        for pair, (r1, r2, r1_parity, r2_parity) in zip(pairs, state["pairs"]):
+            pair.r1 = r1
+            pair.r2 = r2
+            pair.r1_parity = r1_parity
+            pair.r2_parity = r2_parity
+        scheme.recoveries = state["recoveries"]
+        scheme.register_repairs = state["register_repairs"]
+        return
+    if snap.scheme == "2d-parity":
+        scheme.vertical_register._register = state["vertical"]
+        return
+    raise SnapshotError(
+        f"{cache.name}: cannot restore protection scheme {snap.scheme!r}"
+    )
+
+
+def _restore_stats(stats_dict: dict) -> CacheStats:
+    fields = dict(stats_dict)
+    fields["dirty_interval_histogram"] = dict(fields["dirty_interval_histogram"])
+    return CacheStats(**fields)
+
+
+def restore_cache(snap: CacheSnapshot, cache: Cache) -> Cache:
+    """Load a snapshot into a *fresh* cache of identical configuration.
+
+    The target must be newly constructed (pristine): restore only writes
+    the state a snapshot carries, it does not erase leftovers.
+    """
+    _check_target(snap, cache)
+    for line in snap.lines:
+        ln = cache.line(line.set_index, line.way)
+        ln.valid = True
+        ln.tag = line.tag
+        ln.tag_check = line.tag_check
+        ln.data[:] = line.data
+        ln.dirty = list(line.dirty)
+        ln.check = list(line.check)
+        ln.last_dirty_access = list(line.last_dirty_access)
+    cache._access_counter = snap.access_counter
+    cache.stats = _restore_stats(snap.stats)
+    _restore_policy(snap.policy, cache)
+    _restore_protection(snap, cache)
+    return cache
+
+
+def restore_memory(snap: MemorySnapshot, memory: MainMemory) -> MainMemory:
+    """Load a memory snapshot into a fresh :class:`MainMemory`."""
+    memory._blocks = dict(snap.blocks)
+    memory.reads = snap.reads
+    memory.writes = snap.writes
+    return memory
+
+
+def restore_hierarchy(
+    snap: HierarchySnapshot, hierarchy: MemoryHierarchy
+) -> MemoryHierarchy:
+    """Load a hierarchy snapshot into a freshly built hierarchy.
+
+    The target must have the same level structure and per-level
+    configuration (geometry, scheme, policy) as the hierarchy the
+    snapshot was taken from.
+    """
+    levels = hierarchy.levels()
+    if len(levels) != len(snap.caches):
+        raise SnapshotError(
+            f"snapshot holds {len(snap.caches)} cache levels, target "
+            f"hierarchy has {len(levels)}"
+        )
+    for cache_snap, cache in zip(snap.caches, levels):
+        restore_cache(cache_snap, cache)
+    restore_memory(snap.memory, hierarchy.memory)
+    return hierarchy
+
+
+# ----------------------------------------------------------------------
+# Bounded snapshot caching
+# ----------------------------------------------------------------------
+class SnapshotCache:
+    """LRU cache of expensive-to-build state, bounded by count and bytes.
+
+    Used campaign-side for warm states and worker-side for deduplicated
+    trial payloads, so sweeps over many configurations hold O(bound)
+    memory.  ``size_bytes`` is caller-provided (typically the pickled
+    payload size) because Python object graphs have no cheap exact size.
+    """
+
+    def __init__(self, max_entries: int = 8, max_bytes: int = 512 << 20):
+        if max_entries < 1 or max_bytes < 1:
+            raise SnapshotError(
+                "SnapshotCache bounds must be positive, got "
+                f"max_entries={max_entries} max_bytes={max_bytes}"
+            )
+        self.max_entries = max_entries
+        self.max_bytes = max_bytes
+        self._entries: "OrderedDict[object, Tuple[object, int]]" = OrderedDict()
+        self.total_bytes = 0
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key) -> bool:
+        return key in self._entries
+
+    def get(self, key):
+        """The cached value for ``key`` (now most recently used), or None."""
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return entry[0]
+
+    def put(self, key, value, size_bytes: int) -> None:
+        """Insert (or refresh) an entry, evicting LRU entries over bounds.
+
+        An entry larger than ``max_bytes`` on its own is stored alone —
+        the cache never refuses its newest entry, it only sheds old ones.
+        """
+        if key in self._entries:
+            self.total_bytes -= self._entries.pop(key)[1]
+        self._entries[key] = (value, size_bytes)
+        self.total_bytes += size_bytes
+        while len(self._entries) > self.max_entries or (
+            self.total_bytes > self.max_bytes and len(self._entries) > 1
+        ):
+            _old_key, (_old_value, old_size) = self._entries.popitem(last=False)
+            self.total_bytes -= old_size
+            self.evictions += 1
+
+    def clear(self) -> None:
+        """Drop every entry (counters are retained)."""
+        self._entries.clear()
+        self.total_bytes = 0
+
+    def export_metrics(self, registry, prefix: str) -> None:
+        """Publish occupancy and traffic into a ``MetricsRegistry``."""
+        if prefix and not prefix.endswith("."):
+            prefix += "."
+        registry.gauge(f"{prefix}entries").set(len(self._entries))
+        registry.gauge(f"{prefix}bytes").set(self.total_bytes)
+        registry.counter(f"{prefix}hits").inc(self.hits)
+        registry.counter(f"{prefix}misses").inc(self.misses)
+        registry.counter(f"{prefix}evictions").inc(self.evictions)

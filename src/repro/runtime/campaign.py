@@ -13,6 +13,8 @@ do not depend on scheduling, ordering, or interruption.
 
 from __future__ import annotations
 
+import hashlib
+import pickle
 from pathlib import Path
 from typing import Dict, Optional, Union
 
@@ -152,7 +154,12 @@ def _failure_from_report(report: TaskReport) -> TrialFailure:
 
 # ----------------------------------------------------------------------
 def run_campaign(
-    config: CampaignConfig, runtime: CampaignRuntime, *, obs=None
+    config: CampaignConfig,
+    runtime: CampaignRuntime,
+    *,
+    obs=None,
+    fast: bool = False,
+    fast_equivalence: str = "never",
 ) -> CampaignResult:
     """Run (or resume) one campaign under a :class:`CampaignRuntime`.
 
@@ -162,6 +169,15 @@ def run_campaign(
     is scheduled on that lane, so an interruption loses at most in-flight
     work.
 
+    The per-trial payload is deduplicated: the campaign config (plus, on
+    the ``fast`` path, its warm snapshot — see
+    :mod:`repro.faults.warmstate`) is pickled once, shipped to each
+    worker lane once via an executor preload, and cached worker-side by
+    content digest; tasks carry only ``(digest, trial_index)``.  ``fast``
+    requires ``config.shared_warmup`` and produces bit-identical
+    per-trial results (``fast_equivalence="always"`` re-runs the legacy
+    path per trial and raises on any divergence).
+
     ``obs`` (a :class:`repro.obs.TraceSink`) receives one outcome event
     per finished trial.  Trials execute in worker subprocesses, so —
     unlike the sequential path — per-access events are not available
@@ -169,6 +185,10 @@ def run_campaign(
     """
     if obs is not None and not obs.enabled:
         obs = None
+    if fast and not config.shared_warmup:
+        raise ConfigurationError(
+            "the snapshot-fork fast path requires shared_warmup=True"
+        )
     digest = campaign_digest(config)
     store: Optional[CheckpointStore] = None
     recorded: Dict[int, CheckpointRecord] = {}
@@ -183,15 +203,36 @@ def run_campaign(
             _validate_records(config, recorded)
 
     pending = [i for i in range(config.trials) if i not in recorded]
-    tasks = [
-        TrialTask(
-            index=i,
-            seed=config.trial_seed(i),
-            fn=_worker.run_campaign_trial,
-            args=(config, i),
+
+    if fast:
+        from ..faults.warmstate import warm_state_for
+
+        payload = (config, warm_state_for(config)) if pending else None
+        trial_fn = _worker.run_fast_campaign_trial
+        extra_args = (fast_equivalence,)
+    else:
+        payload = config if pending else None
+        trial_fn = _worker.run_campaign_trial_cached
+        extra_args = ()
+
+    preload_token = None
+    if payload is not None:
+        blob = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+        payload_digest = hashlib.sha256(blob).hexdigest()
+        preload_token = runtime.executor().add_preload(
+            _worker.seed_campaign_payload, payload_digest, blob
         )
-        for i in pending
-    ]
+        tasks = [
+            TrialTask(
+                index=i,
+                seed=config.trial_seed(i),
+                fn=trial_fn,
+                args=(payload_digest, i) + extra_args,
+            )
+            for i in pending
+        ]
+    else:
+        tasks = []
 
     def checkpoint(report: TaskReport) -> None:
         if obs is not None:
@@ -236,6 +277,8 @@ def run_campaign(
             else []
         )
     finally:
+        if preload_token is not None:
+            runtime.executor().remove_preload(preload_token)
         if store is not None:
             store.close()
 

@@ -65,6 +65,10 @@ def campaign_digest(config) -> str:
         "target_level": config.target_level,
         "seed": repr(config.seed),
     }
+    # Only stamped when set, so digests of pre-existing campaigns (and
+    # their resumable checkpoints) are unchanged.
+    if config.shared_warmup:
+        view["shared_warmup"] = True
     return hashlib.sha256(_canonical(view).encode("utf-8")).hexdigest()
 
 

@@ -65,10 +65,14 @@ class TaskReport:
 class _Lane:
     """One worker slot: a single-process pool that can be killed whole."""
 
-    def __init__(self, mp_context, initargs: Sequence[str]):
+    def __init__(self, mp_context, initargs: Sequence[str], preloads=None):
         self._mp_context = mp_context
         self._initargs = tuple(initargs)
         self._pool: Optional[ProcessPoolExecutor] = None
+        # Snapshot of the executor's registered preloads (None for lanes
+        # constructed directly in tests).
+        self._preloads = preloads if preloads is not None else (lambda: ())
+        self._applied: set = set()
 
     def _ensure_pool(self) -> ProcessPoolExecutor:
         if self._pool is None:
@@ -81,6 +85,14 @@ class _Lane:
             # Warm the worker so per-trial timeouts measure the trial,
             # not interpreter spawn + numpy import.
             self._pool.submit(_worker.noop).result(timeout=WARMUP_TIMEOUT_S)
+        # Ship any preload this worker has not seen.  A killed lane's
+        # replacement worker re-runs every preload because ``kill``
+        # clears the applied set.
+        for token, fn, args in self._preloads():
+            if token in self._applied:
+                continue
+            self._pool.submit(fn, *args).result(timeout=WARMUP_TIMEOUT_S)
+            self._applied.add(token)
         return self._pool
 
     def submit(self, fn: Callable, *args):
@@ -89,6 +101,7 @@ class _Lane:
     def kill(self) -> None:
         """SIGKILL the lane's worker and discard the pool."""
         pool, self._pool = self._pool, None
+        self._applied.clear()
         if pool is None:
             return
         processes = getattr(pool, "_processes", None) or {}
@@ -124,11 +137,43 @@ class TrialExecutor:
         self._sleep = sleep
         self._mp_context = multiprocessing.get_context("spawn")
         self._initargs = _worker.package_sys_path()
+        self._preloads: Dict[int, Tuple[Callable, Tuple]] = {}
+        self._preload_token = 0
         self._lanes = [
-            _Lane(self._mp_context, self._initargs) for _ in range(jobs)
+            _Lane(self._mp_context, self._initargs, self._preload_snapshot)
+            for _ in range(jobs)
         ]
         self._lock = threading.Lock()
         self._stop = False
+
+    # ------------------------------------------------------------------
+    def add_preload(self, fn: Callable, *args) -> int:
+        """Register a call every worker runs before its first (next) task.
+
+        Preloads seed per-worker caches with shared payloads — e.g. one
+        campaign config shipped once per lane instead of once per trial.
+        They run in registration order on each lane's worker at submit
+        time, and re-run automatically on the fresh worker after a lane
+        is killed (timeout, crash).  Returns a token for
+        :meth:`remove_preload`.
+        """
+        with self._lock:
+            self._preload_token += 1
+            token = self._preload_token
+            self._preloads[token] = (fn, tuple(args))
+        return token
+
+    def remove_preload(self, token: int) -> None:
+        """Unregister a preload; workers that already ran it are untouched."""
+        with self._lock:
+            self._preloads.pop(token, None)
+
+    def _preload_snapshot(self) -> List[Tuple[int, Callable, Tuple]]:
+        with self._lock:
+            return [
+                (token, fn, args)
+                for token, (fn, args) in self._preloads.items()
+            ]
 
     # ------------------------------------------------------------------
     def run(

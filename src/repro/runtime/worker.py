@@ -9,6 +9,7 @@ return plain dataclasses.
 
 from __future__ import annotations
 
+import pickle
 import signal
 import sys
 from typing import Sequence
@@ -55,3 +56,68 @@ def run_campaign_trial(config, trial_index: int):
     from ..faults.campaign import FaultCampaign
 
     return FaultCampaign(config)._run_trial(trial_index)
+
+
+# ----------------------------------------------------------------------
+# Shared-payload trial entry points
+#
+# A campaign's config (and, on the fast path, its warm snapshot) is the
+# same for every trial, so the driver ships it once per worker via an
+# executor preload (:meth:`TrialExecutor.add_preload`) and per-trial
+# tasks carry only ``(digest, trial_index)``.  The cache is module-level
+# worker state: each spawn-context worker process holds its own copy,
+# bounded so long-lived lanes serving many campaigns stay bounded too.
+# ----------------------------------------------------------------------
+_PAYLOAD_CACHE = None
+
+
+def _payload_cache():
+    """This worker's bounded digest-keyed payload cache."""
+    global _PAYLOAD_CACHE
+    if _PAYLOAD_CACHE is None:
+        from ..memsim.snapshot import SnapshotCache
+
+        _PAYLOAD_CACHE = SnapshotCache(max_entries=4, max_bytes=2 << 30)
+    return _PAYLOAD_CACHE
+
+
+def seed_campaign_payload(digest: str, blob: bytes) -> None:
+    """Preload entry point: cache a pickled campaign payload by digest."""
+    _payload_cache().put(digest, pickle.loads(blob), len(blob))
+
+
+def _cached_payload(digest: str):
+    payload = _payload_cache().get(digest)
+    if payload is None:
+        from ..errors import CampaignRuntimeError
+
+        raise CampaignRuntimeError(
+            f"worker has no cached payload for campaign {digest[:16]}; "
+            "the driver must preload it before scheduling trials"
+        )
+    return payload
+
+
+def run_campaign_trial_cached(digest: str, trial_index: int):
+    """Legacy-path trial against a preloaded campaign config."""
+    from ..faults.campaign import FaultCampaign
+
+    config = _cached_payload(digest)
+    return FaultCampaign(config)._run_trial(trial_index)
+
+
+def run_fast_campaign_trial(
+    digest: str, trial_index: int, fast_equivalence: str = "never"
+):
+    """Snapshot-fork trial against a preloaded ``(config, WarmState)``.
+
+    The warm state is unpickled once per worker (at preload time) and
+    forked per trial, so workers never re-simulate the shared warmup.
+    """
+    from ..faults.campaign import FaultCampaign
+
+    config, warm = _cached_payload(digest)
+    campaign = FaultCampaign(
+        config, fast=True, fast_equivalence=fast_equivalence
+    )
+    return campaign._run_trial(trial_index, warm=warm)

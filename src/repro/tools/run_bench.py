@@ -1,19 +1,29 @@
-"""Benchmark the batch replay fast path against the scalar simulator.
+"""Benchmark the repo's fast paths against their reference simulators.
 
-Replays one synthetic benchmark trace through both engines, checks
-that they agree word-for-word on a short prefix, and writes a JSON
-report (``BENCH_replay.json`` by default)::
+Default mode replays one synthetic benchmark trace through both the
+batch engine and the scalar simulator, checks that they agree
+word-for-word on a short prefix, and writes a JSON report
+(``BENCH_replay.json`` by default)::
 
     python -m repro.tools.run_bench --trace-len 100000
     python -m repro.tools.run_bench --trace-len 20000 --min-speedup 3
 
-``--min-speedup`` turns the run into a gate: the exit status is
-non-zero when the measured speedup falls below the floor, which is how
-CI keeps the fast path honest without being flaky about absolute
-timings.  ``--max-obs-overhead`` gates the same way on the ratio of
-batch replay time with a *disabled* trace sink attached to the plain
-batch time — the zero-overhead-when-disabled property of
-:mod:`repro.obs`, kept honest as a ratio rather than a wall-clock.
+``--campaign`` instead benchmarks the snapshot-fork campaign fast path
+(:mod:`repro.faults.warmstate`) against the legacy warm-every-trial
+loop, verifies the two produce bit-identical per-trial results, and
+writes ``BENCH_campaign.json``::
+
+    python -m repro.tools.run_bench --campaign --trials 200 \\
+        --min-campaign-speedup 3
+
+``--min-speedup`` / ``--min-campaign-speedup`` turn the run into a
+gate: the exit status is non-zero when the measured speedup falls
+below the floor, which is how CI keeps the fast paths honest without
+being flaky about absolute timings.  ``--max-obs-overhead`` gates the
+same way on the ratio of batch replay time with a *disabled* trace
+sink attached to the plain batch time — the zero-overhead-when-disabled
+property of :mod:`repro.obs`, kept honest as a ratio rather than a
+wall-clock.
 """
 
 from __future__ import annotations
@@ -26,6 +36,7 @@ import time
 from typing import Optional, Sequence
 
 from ..errors import EquivalenceError
+from ..faults.schemes import SCHEMES, scheme_factory
 from ..memsim.batch import BatchTrace
 from ..obs import NullSink, make_sink
 from ..workloads import benchmark_names, make_workload, materialize
@@ -91,8 +102,52 @@ def build_parser() -> argparse.ArgumentParser:
         "--output",
         "-o",
         type=pathlib.Path,
-        default=pathlib.Path("BENCH_replay.json"),
-        help="JSON report path (default: %(default)s)",
+        default=None,
+        help="JSON report path (default: BENCH_replay.json, or "
+        "BENCH_campaign.json with --campaign)",
+    )
+    campaign = parser.add_argument_group(
+        "campaign mode",
+        "benchmark the snapshot-fork campaign fast path against the "
+        "legacy warm-every-trial loop (bit-identical results, checked)",
+    )
+    campaign.add_argument(
+        "--campaign",
+        action="store_true",
+        help="time a fault-injection campaign instead of raw trace replay",
+    )
+    campaign.add_argument(
+        "--scheme",
+        choices=SCHEMES,
+        default="cppc",
+        help="protection scheme for campaign mode (default: %(default)s)",
+    )
+    campaign.add_argument(
+        "--trials",
+        type=int,
+        default=200,
+        help="campaign trials per timed run (default: %(default)s)",
+    )
+    campaign.add_argument(
+        "--warmup",
+        type=int,
+        default=12_000,
+        help="warmup references per trial in campaign mode; the fast "
+        "path simulates them once (default: %(default)s)",
+    )
+    campaign.add_argument(
+        "--post",
+        type=int,
+        default=250,
+        help="post-fault references per trial in campaign mode "
+        "(default: %(default)s)",
+    )
+    campaign.add_argument(
+        "--min-campaign-speedup",
+        type=float,
+        default=0.0,
+        help="fail (exit 1) when the fast/legacy campaign speedup is "
+        "below this (default: no gate)",
     )
     add_obs_arguments(parser)
     return parser
@@ -198,12 +253,129 @@ def run_bench(
     return report
 
 
+def run_campaign_bench(
+    scheme: str = "cppc",
+    benchmark: str = "gcc",
+    *,
+    trials: int = 200,
+    warmup: int = 12_000,
+    post: int = 250,
+    seed: int = 0,
+    registry=None,
+) -> dict:
+    """Time the legacy vs. snapshot-fork campaign and return the report.
+
+    Runs the same shared-warmup campaign twice — once through the legacy
+    warm-every-trial loop, once through the snapshot-fork fast path —
+    and verifies per-trial bit-identity before reporting throughput.
+    The fast timing includes building the warm snapshot (the cache is
+    cleared first), so the reported ratio is what a cold campaign sees.
+    """
+    from ..faults.campaign import CampaignConfig, FaultCampaign, Outcome
+    from ..faults.warmstate import clear_warm_cache
+
+    if trials < 1:
+        raise ValueError("trials must be positive")
+    config = CampaignConfig(
+        scheme_factory=scheme_factory(scheme),
+        benchmark=benchmark,
+        trials=trials,
+        warmup_references=warmup,
+        post_fault_references=post,
+        seed=seed,
+        shared_warmup=True,
+    )
+
+    start = time.perf_counter()
+    legacy = FaultCampaign(config).run()
+    legacy_s = time.perf_counter() - start
+
+    clear_warm_cache()
+    start = time.perf_counter()
+    fast = FaultCampaign(config, fast=True).run()
+    fast_s = time.perf_counter() - start
+
+    mismatches = [
+        f"trial {i}: fast={vars(b)!r} legacy={vars(a)!r}"
+        for i, (a, b) in enumerate(zip(legacy.trials, fast.trials))
+        if vars(a) != vars(b)
+    ]
+    if mismatches:
+        raise EquivalenceError(
+            "snapshot-fork campaign diverged from the legacy loop:\n  "
+            + "\n  ".join(mismatches[:10]),
+            mismatches=mismatches,
+        )
+
+    report = {
+        "mode": "campaign",
+        "scheme": scheme,
+        "benchmark": benchmark,
+        "trials": trials,
+        "warmup_references": warmup,
+        "post_fault_references": post,
+        "seed": seed,
+        "legacy_seconds": legacy_s,
+        "fast_seconds": fast_s,
+        "legacy_trials_per_sec": trials / legacy_s,
+        "fast_trials_per_sec": trials / fast_s,
+        "speedup": legacy_s / fast_s,
+        "outcomes": {o.value: legacy.counts[o] for o in Outcome},
+        "identical_trials": True,
+    }
+    if registry is not None:
+        registry.gauge("bench.campaign_speedup").set(report["speedup"])
+        registry.gauge("bench.campaign_fast_trials_per_sec").set(
+            report["fast_trials_per_sec"]
+        )
+    return report
+
+
+def _campaign_main(args, registry) -> int:
+    try:
+        report = run_campaign_bench(
+            args.scheme,
+            args.benchmark,
+            trials=args.trials,
+            warmup=args.warmup,
+            post=args.post,
+            seed=args.seed,
+            registry=registry,
+        )
+    except EquivalenceError as exc:
+        print(f"equivalence check FAILED:\n{exc}", file=sys.stderr)
+        return 1
+    output = args.output or pathlib.Path("BENCH_campaign.json")
+    output.write_text(json.dumps(report, indent=2) + "\n")
+    emit_metrics(args.emit_metrics, registry)
+    print(
+        "{scheme}/{benchmark}: {trials} trials  "
+        "legacy {legacy_trials_per_sec:.2f} trials/s  "
+        "fast {fast_trials_per_sec:.2f} trials/s  "
+        "speedup {speedup:.1f}x".format(**report)
+    )
+    print(f"wrote {output}")
+    if (
+        args.min_campaign_speedup
+        and report["speedup"] < args.min_campaign_speedup
+    ):
+        print(
+            f"campaign speedup {report['speedup']:.1f}x is below the "
+            f"required {args.min_campaign_speedup:.1f}x",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     if args.trace_len < 1:
         parser.error("--trace-len must be positive")
     registry = metrics_registry(args.emit_metrics)
+    if args.campaign:
+        return _campaign_main(args, registry)
     try:
         report = run_bench(
             args.benchmark,
@@ -217,7 +389,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     except EquivalenceError as exc:
         print(f"equivalence check FAILED:\n{exc}", file=sys.stderr)
         return 1
-    args.output.write_text(json.dumps(report, indent=2) + "\n")
+    output = args.output or pathlib.Path("BENCH_replay.json")
+    output.write_text(json.dumps(report, indent=2) + "\n")
     emit_metrics(args.emit_metrics, registry)
     print(
         "{benchmark}: {trace_len} refs  "
@@ -226,7 +399,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "speedup {speedup:.1f}x  "
         "obs-overhead {obs_overhead_ratio:.3f}".format(**report)
     )
-    print(f"wrote {args.output}")
+    print(f"wrote {output}")
     if args.min_speedup and report["speedup"] < args.min_speedup:
         print(
             f"speedup {report['speedup']:.1f}x is below the required "

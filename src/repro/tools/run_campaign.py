@@ -65,6 +65,28 @@ def build_parser() -> argparse.ArgumentParser:
         "--dirty-only", action="store_true",
         help="restrict temporal faults to dirty data",
     )
+    parser.add_argument(
+        "--fast", action=argparse.BooleanOptionalAction, default=False,
+        help="snapshot-fork fast path: share one warmup across trials, "
+             "simulate it once, and fork each trial from the snapshot "
+             "(implies a shared warmup seed; bit-identical to running "
+             "the same shared-warmup campaign trial by trial)",
+    )
+    parser.add_argument(
+        "--fast-equivalence", choices=FaultCampaign.EQUIVALENCE_MODES,
+        default="never", metavar="MODE",
+        help="with --fast, 'always' re-runs every trial on the legacy "
+             "path and fails on any divergence (default: never)",
+    )
+    parser.add_argument(
+        "--profile", action="store_true",
+        help="profile the campaign under cProfile and print the top 20 "
+             "functions by cumulative time",
+    )
+    parser.add_argument(
+        "--profile-out", default=None, metavar="FILE",
+        help="also dump raw pstats data to FILE (implies --profile)",
+    )
     runtime = parser.add_argument_group(
         "crash-safe runtime",
         "run trials in isolated worker subprocesses with timeout, retry, "
@@ -122,8 +144,19 @@ def _summary_payload(args, result) -> dict:
     }
 
 
+def _print_profile(profiler, profile_out) -> None:
+    import pstats
+
+    stats = pstats.Stats(profiler)
+    if profile_out is not None:
+        stats.dump_stats(profile_out)
+        print(f"profile data written to {profile_out}")
+    stats.sort_stats("cumulative").print_stats(20)
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    profiling = args.profile or args.profile_out is not None
     config = CampaignConfig(
         scheme_factory=scheme_factory(args.scheme),
         benchmark=args.benchmark,
@@ -135,32 +168,52 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         dirty_only=args.dirty_only,
         target_level=args.level,
         seed=args.seed,
+        shared_warmup=args.fast,
     )
     registry = metrics_registry(args.emit_metrics)
+    profiler = None
+    if profiling:
+        import cProfile
+
+        profiler = cProfile.Profile()
     try:
         with open_sink(args.trace_out) as sink:
-            if _wants_runtime(args):
-                retry = (
-                    RetryPolicy(max_attempts=args.retries + 1)
-                    if args.retries is not None
-                    else RetryPolicy()
-                )
-                with CampaignRuntime(
-                    jobs=args.jobs or 1,
-                    timeout_s=args.timeout,
-                    retry=retry,
-                    checkpoint_dir=args.checkpoint_dir,
-                    resume=args.resume,
-                ) as runtime:
-                    result = FaultCampaign(config, obs=sink).run(
-                        runtime=runtime
+            campaign = FaultCampaign(
+                config, obs=sink, fast=args.fast,
+                fast_equivalence=args.fast_equivalence,
+            )
+            if profiler is not None:
+                profiler.enable()
+            try:
+                if _wants_runtime(args):
+                    retry = (
+                        RetryPolicy(max_attempts=args.retries + 1)
+                        if args.retries is not None
+                        else RetryPolicy()
                     )
-            else:
-                result = FaultCampaign(config, obs=sink).run()
+                    with CampaignRuntime(
+                        jobs=args.jobs or 1,
+                        timeout_s=args.timeout,
+                        retry=retry,
+                        checkpoint_dir=args.checkpoint_dir,
+                        resume=args.resume,
+                    ) as runtime:
+                        result = campaign.run(runtime=runtime)
+                else:
+                    result = campaign.run()
+            finally:
+                if profiler is not None:
+                    profiler.disable()
     except ReproError as exc:
         return fail(f"campaign failed: {exc}")
     if registry is not None:
         result.export_metrics(registry)
+        if args.fast:
+            from ..faults.warmstate import warm_cache
+
+            warm_cache().export_metrics(registry, prefix="warm_cache")
+    if profiler is not None:
+        _print_profile(profiler, args.profile_out)
 
     counts = result.counts
     print(f"scheme={args.scheme} benchmark={args.benchmark} "

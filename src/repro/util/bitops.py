@@ -44,12 +44,14 @@ def popcount(x: int) -> int:
     """Number of set bits in ``x`` (x must be non-negative)."""
     if x < 0:
         raise ConfigurationError("popcount requires a non-negative integer")
-    return bin(x).count("1")
+    return x.bit_count()
 
 
 def parity(x: int) -> int:
     """Even-parity bit of ``x``: 1 if the number of set bits is odd."""
-    return popcount(x) & 1
+    if x < 0:
+        raise ConfigurationError("popcount requires a non-negative integer")
+    return x.bit_count() & 1
 
 
 def get_bit(x: int, k: int, width: int = WORD_BITS) -> int:

@@ -53,6 +53,14 @@ class GoldenMemory:
         """Iterate ``(address, expected_byte)`` over every written byte."""
         return self._bytes.items()
 
+    def snapshot(self) -> Dict[int, int]:
+        """A copy of the full per-byte image (for campaign warm states)."""
+        return dict(self._bytes)
+
+    def restore(self, image: Dict[int, int]) -> None:
+        """Replace the image with a previously captured snapshot."""
+        self._bytes = dict(image)
+
     def __len__(self) -> int:
         return len(self._bytes)
 

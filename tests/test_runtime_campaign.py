@@ -148,7 +148,8 @@ class TestResume:
 
 class TestGracefulDegradation:
     def test_impossible_timeout_degrades_to_failures(self):
-        config = small_config(trials=2)
+        # Long warmup keeps one trial far above the 50ms budget.
+        config = small_config(trials=2, warmup_references=20000)
         retry = RetryPolicy(max_attempts=2, base_delay_s=0.0, jitter=0.0)
         with CampaignRuntime(
             jobs=1, timeout_s=0.05, retry=retry
@@ -164,7 +165,7 @@ class TestGracefulDegradation:
         assert result.failed == 2
 
     def test_failures_are_checkpointed_and_resumed(self, tmp_path):
-        config = small_config(trials=2)
+        config = small_config(trials=2, warmup_references=20000)
         retry = RetryPolicy(max_attempts=1)
         with CampaignRuntime(
             jobs=1, timeout_s=0.05, retry=retry,

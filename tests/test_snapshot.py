@@ -1,0 +1,210 @@
+"""Snapshot/restore round-trip properties for the memsim state API.
+
+The campaign fast path depends on one guarantee: a hierarchy restored
+from a snapshot is *indistinguishable* from the hierarchy the snapshot
+was taken from.  These tests state that as a replay property — take a
+snapshot mid-trace, restore it into a fresh hierarchy, replay the same
+suffix on both, and demand bit-for-bit identical final state — across
+replacement policies, protection schemes and randomized traces.
+"""
+
+import pytest
+
+from repro.errors import SnapshotError
+from repro.faults.schemes import scheme_factory
+from repro.memsim import (
+    PAPER_CONFIG_WITH_L3,
+    MemoryHierarchy,
+    SnapshotCache,
+    restore_hierarchy,
+    snapshot_hierarchy,
+)
+from repro.obs import MetricsRegistry
+from repro.workloads import make_workload, materialize
+from repro.workloads.replay import TraceReplayer
+
+SCHEMES = ("cppc", "secded", "parity")
+POLICIES = ("lru", "fifo", "random")
+
+
+def _scheme_factory(name):
+    return scheme_factory(name)
+
+
+def _trace(benchmark, seed, n):
+    return materialize(make_workload(benchmark, seed=seed).records(n))
+
+
+def _fresh(scheme, policy="lru"):
+    return MemoryHierarchy(protection_factory=_scheme_factory(scheme), policy=policy)
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("scheme", SCHEMES)
+    @pytest.mark.parametrize("policy", POLICIES)
+    def test_restored_hierarchy_replays_identically(self, scheme, policy):
+        records = _trace("gcc", (scheme, policy), 900)
+        prefix, suffix = records[:600], records[600:]
+
+        original = _fresh(scheme, policy)
+        TraceReplayer(original).run(prefix)
+        snap = snapshot_hierarchy(original)
+
+        restored = _fresh(scheme, policy)
+        restore_hierarchy(snap, restored)
+        assert snapshot_hierarchy(restored) == snap
+
+        start = sum(r.instructions for r in prefix)
+        TraceReplayer(original, start_cycle=start).run(suffix)
+        TraceReplayer(restored, start_cycle=start).run(suffix)
+        assert snapshot_hierarchy(restored) == snapshot_hierarchy(original)
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_randomized_traces_round_trip(self, seed):
+        records = _trace("mcf", seed, 700)
+        original = _fresh("cppc")
+        TraceReplayer(original).run(records[:500])
+        snap = snapshot_hierarchy(original)
+        restored = _fresh("cppc")
+        restore_hierarchy(snap, restored)
+        TraceReplayer(original, start_cycle=500).run(records[500:])
+        TraceReplayer(restored, start_cycle=500).run(records[500:])
+        assert snapshot_hierarchy(restored) == snapshot_hierarchy(original)
+
+    def test_cppc_register_invariant_survives_restore(self):
+        records = _trace("gzip", 7, 800)
+        original = _fresh("cppc")
+        TraceReplayer(original).run(records)
+        restored = _fresh("cppc")
+        restore_hierarchy(snapshot_hierarchy(original), restored)
+
+        src = original.l1d.protection
+        dst = restored.l1d.protection
+        for i, (a, b) in enumerate(zip(src.registers.pairs, dst.registers.pairs)):
+            assert (b.r1, b.r2, b.r1_parity, b.r2_parity) == (
+                a.r1,
+                a.r2,
+                a.r1_parity,
+                a.r2_parity,
+            )
+            # The restored cache satisfies the paper's R1^R2 invariant:
+            # the register pair XOR equals the XOR of rotated dirty words.
+            assert b.r1 ^ b.r2 == dst.dirty_xor_expected(i)
+            assert dst.dirty_xor_expected(i) == src.dirty_xor_expected(i)
+
+    def test_twod_parity_cache_round_trips(self):
+        from repro.memsim import Cache, MainMemory
+        from repro.memsim.protection import TwoDParityProtection
+        from repro.memsim.snapshot import (
+            restore_cache,
+            restore_memory,
+            snapshot_cache,
+            snapshot_memory,
+        )
+
+        def build():
+            return Cache(
+                "L1D",
+                4096,
+                2,
+                32,
+                unit_bytes=8,
+                protection=TwoDParityProtection(data_bits=64),
+                next_level=MainMemory(block_bytes=32),
+            )
+
+        original = build()
+        for i in range(200):
+            original.store(8 * (i * 37 % 600), bytes([i & 0xFF] * 8), cycle=i)
+        snap = snapshot_cache(original)
+        restored = build()
+        restore_cache(snap, restored)
+        restore_memory(snapshot_memory(original.next_level), restored.next_level)
+        assert snapshot_cache(restored) == snap
+        assert (
+            restored.protection.vertical_register.value
+            == original.protection.vertical_register.value
+        )
+        for i in range(200, 260):
+            addr = 8 * (i * 37 % 600)
+            a = original.load(addr, 8, cycle=i)
+            b = restored.load(addr, 8, cycle=i)
+            assert a.data == b.data
+        assert snapshot_cache(restored) == snapshot_cache(original)
+
+    def test_golden_checked_suffix_replay_is_clean(self):
+        records = _trace("gcc", 11, 600)
+        from repro.workloads.replay import GoldenMemory
+        from repro.memsim.types import AccessType
+
+        original = _fresh("secded")
+        TraceReplayer(original).run(records[:400])
+        golden = GoldenMemory()
+        for r in records[:400]:
+            if r.op is AccessType.STORE:
+                golden.store(r.addr, r.value)
+
+        restored = _fresh("secded")
+        restore_hierarchy(snapshot_hierarchy(original), restored)
+        golden2 = GoldenMemory()
+        golden2.restore(golden.snapshot())
+        replayer = TraceReplayer(
+            restored, golden=golden2, check_loads=True, start_cycle=400
+        )
+        result = replayer.run(records[400:])
+        assert result.mismatches == 0
+
+
+class TestValidation:
+    def test_restore_rejects_level_count_mismatch(self):
+        snap = snapshot_hierarchy(_fresh("parity"))
+        three_level = MemoryHierarchy(
+            PAPER_CONFIG_WITH_L3, protection_factory=_scheme_factory("parity")
+        )
+        with pytest.raises(SnapshotError):
+            restore_hierarchy(snap, three_level)
+
+    def test_restore_rejects_scheme_mismatch(self):
+        snap = snapshot_hierarchy(_fresh("parity"))
+        with pytest.raises(SnapshotError):
+            restore_hierarchy(snap, _fresh("secded"))
+
+
+class TestSnapshotCache:
+    def test_entry_bound_evicts_least_recently_used(self):
+        cache = SnapshotCache(max_entries=2, max_bytes=1 << 20)
+        cache.put("a", 1, 10)
+        cache.put("b", 2, 10)
+        assert cache.get("a") == 1  # refresh "a"; "b" is now LRU
+        cache.put("c", 3, 10)
+        assert "b" not in cache
+        assert cache.get("a") == 1 and cache.get("c") == 3
+
+    def test_byte_bound_evicts_but_keeps_newest(self):
+        cache = SnapshotCache(max_entries=8, max_bytes=100)
+        cache.put("a", 1, 60)
+        cache.put("b", 2, 60)  # over budget: "a" evicted
+        assert "a" not in cache and "b" in cache
+        cache.put("huge", 3, 500)  # oversized entries still land alone
+        assert "huge" in cache and len(cache) == 1
+
+    def test_bounds_must_be_positive(self):
+        with pytest.raises(SnapshotError):
+            SnapshotCache(max_entries=0)
+        with pytest.raises(SnapshotError):
+            SnapshotCache(max_bytes=0)
+
+    def test_metrics_export(self):
+        cache = SnapshotCache(max_entries=1, max_bytes=1 << 20)
+        cache.put("a", 1, 7)
+        cache.get("a")
+        cache.get("missing")
+        cache.put("b", 2, 9)  # evicts "a"
+        registry = MetricsRegistry()
+        cache.export_metrics(registry, prefix="warm_cache")
+        snap = registry.snapshot()
+        assert snap["gauges"]["warm_cache.entries"] == 1
+        assert snap["gauges"]["warm_cache.bytes"] == 9
+        assert snap["counters"]["warm_cache.hits"] == 1
+        assert snap["counters"]["warm_cache.misses"] == 1
+        assert snap["counters"]["warm_cache.evictions"] == 1

@@ -107,7 +107,7 @@ class TestRunCampaign:
 
     def test_impossible_timeout_exits_partial(self, capsys):
         rc = run_campaign.main([
-            "parity", "--trials", "2", "--warmup", "300", "--post", "200",
+            "parity", "--trials", "2", "--warmup", "20000", "--post", "200",
             "--dirty-only", "--jobs", "1", "--timeout", "0.05",
             "--retries", "0",
         ])
