@@ -1,0 +1,63 @@
+"""Differential fuzzing: scenario grammar, oracles, shrinker, driver.
+
+The repo maintains several redundant implementations of the same truth
+(scalar cache vs. NumPy batch engine, legacy vs. snapshot-fork
+campaigns, live recovery vs. audit-trail replay, Monte-Carlo vs.
+analytic reliability models).  This package hunts for divergence
+between them: :mod:`~repro.crosscheck.scenario` samples random cases
+from a weighted grammar, :mod:`~repro.crosscheck.oracles` cross-checks
+each case through every applicable pair, :mod:`~repro.crosscheck.shrink`
+ddmin-minimizes failures into corpus reproducers, and
+:mod:`~repro.crosscheck.fuzz` ties it together under a time budget —
+including the ``--mutate`` self-test that proves the harness still
+catches seeded bugs (:mod:`~repro.crosscheck.mutations`).
+"""
+
+from .fuzz import (
+    FuzzFinding,
+    FuzzReport,
+    MutationOutcome,
+    fuzz,
+    run_mutation_self_test,
+)
+from .mutations import MUTATIONS, Mutation, resolve_mutations
+from .oracles import Divergence, run_scenario
+from .scenario import (
+    DEFAULT_KIND_WEIGHTS,
+    FORMAT_VERSION,
+    SCENARIO_KINDS,
+    FaultOp,
+    Scenario,
+    ScenarioGenerator,
+)
+from .shrink import (
+    corpus_files,
+    load_reproducer,
+    reproducer_name,
+    save_reproducer,
+    shrink_scenario,
+)
+
+__all__ = [
+    "DEFAULT_KIND_WEIGHTS",
+    "Divergence",
+    "FORMAT_VERSION",
+    "FaultOp",
+    "FuzzFinding",
+    "FuzzReport",
+    "MUTATIONS",
+    "Mutation",
+    "MutationOutcome",
+    "SCENARIO_KINDS",
+    "Scenario",
+    "ScenarioGenerator",
+    "corpus_files",
+    "fuzz",
+    "load_reproducer",
+    "reproducer_name",
+    "resolve_mutations",
+    "run_mutation_self_test",
+    "run_scenario",
+    "save_reproducer",
+    "shrink_scenario",
+]

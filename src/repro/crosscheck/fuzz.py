@@ -1,0 +1,247 @@
+"""The fuzz driver: generate, cross-check, shrink, record.
+
+:func:`fuzz` is the clean-run loop — scenarios stream from a
+:class:`~repro.crosscheck.scenario.ScenarioGenerator`, each runs through
+its differential oracle, and any divergence is ddmin-shrunk and saved as
+a corpus reproducer.  :func:`run_mutation_self_test` is the harness's
+own regression test: it plants each seeded bug from
+:mod:`~repro.crosscheck.mutations` in turn and asserts the loop reports
+a divergence within its share of the budget.
+
+Scenario ``index`` is globally meaningful: ``(seed, index)`` pins the
+case, so the report alone is enough to regenerate any divergence on
+another machine before the reproducer file is even fetched.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from typing import Callable, Dict, List, Optional
+
+from .mutations import Mutation, active
+from .oracles import Divergence, run_scenario
+from .scenario import Scenario, ScenarioGenerator
+from .shrink import save_reproducer, shrink_scenario
+
+
+@dataclasses.dataclass
+class FuzzFinding:
+    """One divergence, after shrinking."""
+
+    index: int
+    scenario: Scenario
+    divergences: List[Divergence]
+    reproducer: Optional[str] = None
+
+    def snapshot(self) -> dict:
+        return {
+            "index": self.index,
+            "scenario": self.scenario.to_json(),
+            "divergences": [d.to_json() for d in self.divergences],
+            "reproducer": self.reproducer,
+        }
+
+
+@dataclasses.dataclass
+class FuzzReport:
+    """Outcome of one fuzz run."""
+
+    seed: int
+    scenarios_run: int = 0
+    elapsed_seconds: float = 0.0
+    by_kind: Dict[str, int] = dataclasses.field(default_factory=dict)
+    findings: List[FuzzFinding] = dataclasses.field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        """True when no oracle diverged."""
+        return not self.findings
+
+    def snapshot(self) -> dict:
+        return {
+            "seed": self.seed,
+            "scenarios_run": self.scenarios_run,
+            "elapsed_seconds": round(self.elapsed_seconds, 3),
+            "by_kind": dict(self.by_kind),
+            "divergences": len(self.findings),
+            "findings": [f.snapshot() for f in self.findings],
+        }
+
+
+def fuzz(
+    *,
+    seed: int = 0,
+    time_budget: float = 60.0,
+    corpus_dir=None,
+    kind_weights: Optional[Dict[str, float]] = None,
+    round_robin: bool = False,
+    max_scenarios: Optional[int] = None,
+    shrink: bool = True,
+    shrink_seconds: float = 20.0,
+    stop_on_first: bool = False,
+    obs=None,
+    metrics=None,
+    on_progress: Optional[Callable[[FuzzReport], None]] = None,
+) -> FuzzReport:
+    """Run the differential loop until the time budget expires.
+
+    Args:
+        seed: base seed of the scenario stream.
+        time_budget: wall-clock seconds of *generation*; a shrink in
+            progress may run up to ``shrink_seconds`` past it.
+        corpus_dir: when set, shrunk reproducers are written here.
+        kind_weights / round_robin: forwarded to the generator.
+        max_scenarios: optional hard cap on scenarios (for tests).
+        shrink: ddmin-minimize failures before recording them.
+        stop_on_first: return at the first divergence (self-test mode).
+        obs: optional :class:`~repro.obs.sinks.TraceSink` for per-event
+            emission; ``metrics`` an optional
+            :class:`~repro.obs.metrics.MetricsRegistry`.
+        on_progress: called with the running report after each scenario.
+    """
+    generator = ScenarioGenerator(
+        seed, kind_weights=kind_weights, round_robin=round_robin
+    )
+    report = FuzzReport(seed=seed)
+    sink = obs if obs is not None and obs.enabled else None
+    started = time.monotonic()
+    index = 0
+    while True:
+        if max_scenarios is not None and index >= max_scenarios:
+            break
+        if time.monotonic() - started >= time_budget:
+            break
+        scenario = generator.generate(index)
+        t0 = time.monotonic()
+        divergences = run_scenario(scenario)
+        report.scenarios_run += 1
+        report.by_kind[scenario.kind] = report.by_kind.get(scenario.kind, 0) + 1
+        if metrics is not None:
+            metrics.counter("fuzz.scenarios").inc()
+            metrics.counter(f"fuzz.scenarios.{scenario.kind}").inc()
+        if sink is not None:
+            sink.span(
+                "fuzz",
+                f"scenario[{index}]",
+                t0 - started,
+                time.monotonic() - t0,
+                {"kind": scenario.kind, "divergences": len(divergences)},
+            )
+        if divergences:
+            finding = _record_failure(
+                index,
+                scenario,
+                divergences,
+                corpus_dir=corpus_dir,
+                shrink=shrink,
+                shrink_seconds=shrink_seconds,
+            )
+            report.findings.append(finding)
+            if metrics is not None:
+                metrics.counter("fuzz.divergences").inc()
+            if sink is not None:
+                sink.emit("fuzz", "divergence", finding.snapshot())
+            if stop_on_first:
+                break
+        if on_progress is not None:
+            on_progress(report)
+        index += 1
+    report.elapsed_seconds = time.monotonic() - started
+    return report
+
+
+def _record_failure(
+    index: int,
+    scenario: Scenario,
+    divergences: List[Divergence],
+    *,
+    corpus_dir,
+    shrink: bool,
+    shrink_seconds: float,
+) -> FuzzFinding:
+    """Shrink one failing scenario and (optionally) write its reproducer."""
+    if shrink:
+        shrunk = shrink_scenario(scenario, run_scenario, max_seconds=shrink_seconds)
+        final = run_scenario(shrunk)
+        # A flaky shrink (predicate stopped failing at the very end)
+        # falls back to the original, which definitely failed.
+        if final:
+            scenario, divergences = shrunk, final
+    finding = FuzzFinding(index=index, scenario=scenario, divergences=divergences)
+    if corpus_dir is not None:
+        finding.reproducer = str(save_reproducer(scenario, divergences, corpus_dir))
+    return finding
+
+
+@dataclasses.dataclass
+class MutationOutcome:
+    """Self-test verdict for one seeded bug."""
+
+    mutation: str
+    description: str
+    detected: bool
+    scenarios_run: int
+    elapsed_seconds: float
+    detail: str = ""
+
+    def snapshot(self) -> dict:
+        return dataclasses.asdict(self)
+
+
+def run_mutation_self_test(
+    mutations: List[Mutation],
+    *,
+    seed: int = 0,
+    time_budget: float = 120.0,
+    obs=None,
+    metrics=None,
+) -> List[MutationOutcome]:
+    """Plant each seeded bug; assert the fuzzer catches it in budget.
+
+    Each mutation gets an equal share of ``time_budget`` and a scenario
+    stream restricted to the kinds its oracle can observe (fuzzing
+    replay scenarios can never catch an analytic-model bug).  Findings
+    are NOT shrunk or written to the corpus — a mutated run records
+    deliberately-wrong behaviour, which must never contaminate the
+    regression corpus.
+    """
+    share = time_budget / max(1, len(mutations))
+    outcomes: List[MutationOutcome] = []
+    for mutation in mutations:
+        weights = {kind: 1.0 for kind in mutation.kinds}
+        with active(mutation):
+            report = fuzz(
+                seed=seed,
+                time_budget=share,
+                corpus_dir=None,
+                kind_weights=weights,
+                round_robin=len(weights) > 1,
+                shrink=False,
+                stop_on_first=True,
+                obs=obs,
+                metrics=metrics,
+            )
+        detected = not report.clean
+        detail = ""
+        if detected:
+            finding = report.findings[0]
+            detail = (
+                f"scenario {finding.index} ({finding.scenario.kind}): "
+                + finding.divergences[0].details[0]
+            )
+        outcomes.append(
+            MutationOutcome(
+                mutation=mutation.name,
+                description=mutation.description,
+                detected=detected,
+                scenarios_run=report.scenarios_run,
+                elapsed_seconds=report.elapsed_seconds,
+                detail=detail,
+            )
+        )
+        if metrics is not None:
+            metrics.counter("fuzz.mutations.tested").inc()
+            if detected:
+                metrics.counter("fuzz.mutations.detected").inc()
+    return outcomes

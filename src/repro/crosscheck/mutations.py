@@ -1,0 +1,189 @@
+"""Seeded bugs for the fuzzer's self-test (``run_fuzz --mutate``).
+
+A differential harness that never fires is indistinguishable from one
+that works, so its detection power must itself be tested.  Each
+:class:`Mutation` here plants one deliberate, realistic bug into exactly
+ONE side of a differential pair — the scalar cache but not the batch
+engine, the fast campaign path but not the legacy loop, the audit
+recorder but not the live recovery — and the self-test asserts the
+fuzzer reports a divergence within budget.
+
+The patches are namespace-aware: ``audit_payload`` is imported *by
+name* into :mod:`repro.cppc.protection`, so the mutation rebinds it
+there (patching the defining module would silently miss the call site).
+"""
+
+from __future__ import annotations
+
+import contextlib
+import dataclasses
+from typing import Callable, Dict, Iterator, List, Tuple
+
+from ..errors import ConfigurationError
+
+#: One attribute rebinding: (owner object, attribute name, replacement).
+Patch = Tuple[object, str, object]
+
+
+@dataclasses.dataclass(frozen=True)
+class Mutation:
+    """One seeded bug.
+
+    Attributes:
+        name: CLI identifier.
+        description: what the bug breaks, in one line.
+        kinds: scenario kinds able to observe it — the self-test fuzzes
+            only these, so every second of budget exercises the one
+            oracle that must fire.
+        build: returns the patch list (built lazily so importing this
+            module never imports numpy et al. eagerly).
+    """
+
+    name: str
+    description: str
+    kinds: Tuple[str, ...]
+    build: Callable[[], List[Patch]]
+
+
+def _skip_byte_rotation() -> List[Patch]:
+    """Scalar registers stop byte-rotating values (batch still does)."""
+    from ..cppc.shifting import RotationScheme
+
+    def rotate_in(self, value: int, rotation_class: int) -> int:
+        return value
+
+    return [(RotationScheme, "rotate_in", rotate_in)]
+
+
+def _drop_evict_r2() -> List[Patch]:
+    """Scalar CPPC forgets to retire evicted words from its registers."""
+    from ..cppc.protection import CppcProtection
+
+    def on_evict(self, set_index, way, *args, **kwargs):
+        return None
+
+    return [(CppcProtection, "on_evict", on_evict)]
+
+
+def _rotl_off_by_one() -> List[Patch]:
+    """Batch register rotation over-rotates every word by one byte."""
+    from ..memsim import batch
+
+    original = batch._rotl_bytes_u64
+
+    def rotl(values, count):
+        return original(values, count + 1)
+
+    return [(batch, "_rotl_bytes_u64", rotl)]
+
+
+def _fast_campaign_seed_skew() -> List[Patch]:
+    """Snapshot-fork path injects with the NEXT trial's fault seed."""
+    from ..faults.campaign import FaultCampaign
+
+    original = FaultCampaign._classify_trial_fast
+
+    def classify_fast(self, trial, warm=None):
+        return original(self, trial + 1, warm)
+
+    return [(FaultCampaign, "_classify_trial_fast", classify_fast)]
+
+
+def _audit_zero_residue() -> List[Patch]:
+    """The audit recorder logs residue 0 for every register pair."""
+    from ..cppc import protection
+
+    original = protection.audit_payload
+
+    def zeroed(report, scheme):
+        payload = original(report, scheme)
+        for pair in payload["pairs"]:
+            pair["residue"] = 0
+        return payload
+
+    return [(protection, "audit_payload", zeroed)]
+
+
+def _analytic_inflate() -> List[Patch]:
+    """The analytical collision model overstates 1/(p*w) eightfold."""
+    from ..reliability import montecarlo
+
+    original = montecarlo.analytical_collision_probability
+
+    def inflated(parity_ways: int = 8, num_pairs: int = 1) -> float:
+        return min(1.0, 8.0 * original(parity_ways, num_pairs))
+
+    return [(montecarlo, "analytical_collision_probability", inflated)]
+
+
+MUTATIONS: Dict[str, Mutation] = {
+    m.name: m
+    for m in (
+        Mutation(
+            "skip-byte-rotation",
+            "scalar RotationScheme.rotate_in becomes the identity",
+            ("replay",),
+            _skip_byte_rotation,
+        ),
+        Mutation(
+            "drop-evict-r2",
+            "scalar CppcProtection.on_evict is a no-op",
+            ("replay", "recovery"),
+            _drop_evict_r2,
+        ),
+        Mutation(
+            "rotl-off-by-one",
+            "batch _rotl_bytes_u64 rotates count+1 bytes",
+            ("replay",),
+            _rotl_off_by_one,
+        ),
+        Mutation(
+            "fast-campaign-seed-skew",
+            "fast campaign path uses trial+1's injection seed",
+            ("campaign",),
+            _fast_campaign_seed_skew,
+        ),
+        Mutation(
+            "audit-zero-residue",
+            "audit_payload records residue=0 for every pair",
+            ("recovery",),
+            _audit_zero_residue,
+        ),
+        Mutation(
+            "analytic-inflate",
+            "analytical_collision_probability returns 8x the truth",
+            ("doublefault",),
+            _analytic_inflate,
+        ),
+    )
+}
+
+
+def resolve_mutations(selector: str) -> List[Mutation]:
+    """``"all"`` or a comma-separated list of mutation names."""
+    if selector == "all":
+        return list(MUTATIONS.values())
+    chosen = []
+    for name in selector.split(","):
+        name = name.strip()
+        if name not in MUTATIONS:
+            raise ConfigurationError(
+                f"unknown mutation {name!r}; known: "
+                f"{', '.join(sorted(MUTATIONS))} (or 'all')"
+            )
+        chosen.append(MUTATIONS[name])
+    return chosen
+
+
+@contextlib.contextmanager
+def active(mutation: Mutation) -> Iterator[None]:
+    """Install ``mutation``'s patches for the duration of the block."""
+    saved: List[Patch] = []
+    for owner, attr, replacement in mutation.build():
+        saved.append((owner, attr, getattr(owner, attr)))
+        setattr(owner, attr, replacement)
+    try:
+        yield
+    finally:
+        for owner, attr, original in reversed(saved):
+            setattr(owner, attr, original)

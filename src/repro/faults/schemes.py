@@ -14,9 +14,9 @@ from __future__ import annotations
 from ..cppc import CppcProtection
 from ..errors import ConfigurationError
 from ..memsim import NoProtection, ParityProtection, SecdedProtection
-from ..memsim.protection import CacheProtection
+from ..memsim.protection import CacheProtection, TwoDParityProtection
 
-SCHEMES = ("none", "parity", "secded", "cppc")
+SCHEMES = ("none", "parity", "secded", "cppc", "twod")
 
 
 class SchemeFactory:
@@ -37,6 +37,8 @@ class SchemeFactory:
             return ParityProtection(data_bits=unit_bits)
         if self.scheme == "secded":
             return SecdedProtection(data_bits=unit_bits)
+        if self.scheme == "twod":
+            return TwoDParityProtection(data_bits=unit_bits)
         return NoProtection()
 
     def __repr__(self) -> str:

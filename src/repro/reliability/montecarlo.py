@@ -34,6 +34,14 @@ class DoubleFaultEstimate:
     due: int = 0
     miscorrected: int = 0
 
+    def __post_init__(self):
+        # A zero-sample estimate has no rates; fail with a typed error at
+        # construction instead of a ZeroDivisionError at first use.
+        if self.samples < 1:
+            raise ConfigurationError(
+                f"a double-fault estimate needs samples >= 1, got {self.samples}"
+            )
+
     @property
     def failure_rate(self) -> float:
         """Fraction of double faults the scheme could not repair."""
@@ -54,10 +62,12 @@ def analytical_collision_probability(
     return 1.0 / (parity_ways * num_pairs)
 
 
-def _build_dirty_cache(num_pairs: int, parity_ways: int, seed) -> Cache:
+def _build_dirty_cache(
+    num_pairs: int, parity_ways: int, seed, cache_bytes: int = 8192
+) -> Cache:
     memory = MainMemory(block_bytes=32)
     cache = Cache(
-        "L1D", 8192, 2, 32, unit_bytes=8,
+        "L1D", cache_bytes, 2, 32, unit_bytes=8,
         protection=CppcProtection(
             data_bits=64, parity_ways=parity_ways, num_pairs=num_pairs,
             byte_shifting=(parity_ways == 8),
@@ -65,7 +75,7 @@ def _build_dirty_cache(num_pairs: int, parity_ways: int, seed) -> Cache:
         next_level=memory,
     )
     rng = make_rng(seed)
-    for addr in range(0, 8192, 8):
+    for addr in range(0, cache_bytes, 8):
         cache.store(addr, rng.getrandbits(64).to_bytes(8, "big"))
     return cache
 
@@ -76,19 +86,29 @@ def estimate_double_fault_failure(
     parity_ways: int = 8,
     num_pairs: int = 1,
     seed: int = 0,
+    cache_bytes: int = 8192,
 ) -> DoubleFaultEstimate:
     """Empirical outcome distribution of two concurrent temporal faults.
 
     Each sample: fresh fully-dirty CPPC cache, two single-bit flips in two
     distinct dirty words, recovery triggered by a load of the first word.
+    ``cache_bytes`` scales the dirty cache (the collision probability is
+    a property of the code geometry, not the capacity; the fuzzer uses
+    small caches to afford many samples).
     """
     if samples < 1:
         raise ConfigurationError("samples must be >= 1")
+    if cache_bytes < 256 or cache_bytes % 64:
+        raise ConfigurationError(
+            "cache_bytes must be a multiple of 64 and at least 256"
+        )
     estimate = DoubleFaultEstimate(samples=samples)
     rng = make_rng((seed, "double-fault"))
 
     for sample in range(samples):
-        cache = _build_dirty_cache(num_pairs, parity_ways, (seed, sample))
+        cache = _build_dirty_cache(
+            num_pairs, parity_ways, (seed, sample), cache_bytes
+        )
         golden: Dict = {
             loc: value for loc, value, _d in cache.iter_units()
         }

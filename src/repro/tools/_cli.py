@@ -1,12 +1,15 @@
 """Shared CLI conventions for the ``repro.tools`` entry points.
 
 Exit codes (uniform across ``run_campaign``, ``run_scorecard``,
-``run_sensitivity``):
+``run_sensitivity``, ``run_bench``, ``run_fuzz``,
+``run_resilience_smoke``):
 
 * ``EXIT_OK`` (0) — everything ran and every result is complete.
-* ``EXIT_FATAL`` (1) — the run could not produce usable results.
+* ``EXIT_FATAL`` (1) — the run could not produce usable results
+  (equivalence violations, undetected seeded bugs, crashes).
 * ``EXIT_PARTIAL`` (3) — results exist but are partial or have
-  explicit failures (abandoned trials, failing scorecard claims).
+  explicit failures (abandoned trials, failing scorecard claims,
+  failed bench ratio gates, fuzz divergences).
 
 ``--json`` support: every tool that accepts it emits one
 machine-readable summary object via :func:`emit_json` — to stdout with

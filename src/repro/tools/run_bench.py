@@ -17,13 +17,19 @@ writes ``BENCH_campaign.json``::
         --min-campaign-speedup 3
 
 ``--min-speedup`` / ``--min-campaign-speedup`` turn the run into a
-gate: the exit status is non-zero when the measured speedup falls
-below the floor, which is how CI keeps the fast paths honest without
-being flaky about absolute timings.  ``--max-obs-overhead`` gates the
-same way on the ratio of batch replay time with a *disabled* trace
-sink attached to the plain batch time — the zero-overhead-when-disabled
-property of :mod:`repro.obs`, kept honest as a ratio rather than a
-wall-clock.
+gate: the exit status is ``EXIT_PARTIAL`` (results exist but a claim
+failed) when the measured speedup falls below the floor, which is how
+CI keeps the fast paths honest without being flaky about absolute
+timings.  ``--max-obs-overhead`` gates the same way on the ratio of
+batch replay time with a *disabled* trace sink attached to the plain
+batch time — the zero-overhead-when-disabled property of
+:mod:`repro.obs`, kept honest as a ratio rather than a wall-clock.
+
+``--compare-baseline [PATH]`` additionally compares the run's ratio
+metrics against a committed ``BENCH_baseline.json`` and *warns* (never
+fails) when a ratio regressed beyond ``--baseline-tolerance`` — the
+bench trajectory is tracked across PRs without turning machine noise
+into red builds.
 """
 
 from __future__ import annotations
@@ -41,10 +47,27 @@ from ..memsim.batch import BatchTrace
 from ..obs import NullSink, make_sink
 from ..workloads import benchmark_names, make_workload, materialize
 from ..workloads.replay import FastReplay, TraceReplayer
-from ._cli import add_obs_arguments, emit_metrics, metrics_registry
+from ._cli import (
+    add_obs_arguments,
+    emit_metrics,
+    fail,
+    metrics_registry,
+    resolve_exit,
+)
 
 #: Trace prefix used to warm both engines before the timed runs.
 WARMUP_REFERENCES = 5_000
+
+#: Default committed baseline file (see ``--compare-baseline``).
+DEFAULT_BASELINE = "BENCH_baseline.json"
+
+#: Ratio metrics tracked against the baseline, per mode.  Direction
+#: ``"min"`` means lower-is-worse (a speedup), ``"max"`` the opposite
+#: (an overhead ratio).
+BASELINE_METRICS = {
+    "replay": (("speedup", "min"), ("obs_overhead_ratio", "max")),
+    "campaign": (("speedup", "min"),),
+}
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -149,8 +172,95 @@ def build_parser() -> argparse.ArgumentParser:
         help="fail (exit 1) when the fast/legacy campaign speedup is "
         "below this (default: no gate)",
     )
+    baseline = parser.add_argument_group(
+        "baseline tracking",
+        "compare ratio metrics against a committed baseline file; "
+        "regressions warn on stderr but never change the exit status",
+    )
+    baseline.add_argument(
+        "--compare-baseline",
+        nargs="?",
+        const=DEFAULT_BASELINE,
+        default=None,
+        metavar="PATH",
+        help=f"baseline JSON to compare against (default: {DEFAULT_BASELINE})",
+    )
+    baseline.add_argument(
+        "--baseline-tolerance",
+        type=float,
+        default=0.8,
+        help="warn when a tracked ratio falls below this fraction of the "
+        "baseline (or exceeds 1/fraction for overhead ratios) "
+        "(default: %(default)s)",
+    )
     add_obs_arguments(parser)
     return parser
+
+
+def compare_baseline(report: dict, mode: str, path, tolerance: float) -> dict:
+    """Compare ``report``'s tracked ratios against the baseline file.
+
+    Returns a comparison record (also attached to the report by the
+    caller): per metric the current and baseline values, the allowed
+    bound, and whether it regressed.  A missing baseline file or mode
+    section yields ``{"status": "no-baseline"}`` so fresh checkouts and
+    new modes stay silent.
+    """
+    if not 0.0 < tolerance <= 1.0:
+        raise ValueError("baseline tolerance must be in (0, 1]")
+    path = pathlib.Path(path)
+    if not path.is_file():
+        return {"status": "no-baseline", "path": str(path)}
+    baseline = json.loads(path.read_text()).get(mode)
+    if not baseline:
+        return {"status": "no-baseline", "path": str(path), "mode": mode}
+    metrics = {}
+    regressed = False
+    for metric, direction in BASELINE_METRICS[mode]:
+        base = baseline.get(metric)
+        current = report.get(metric)
+        if base is None or current is None:
+            continue
+        if direction == "min":
+            bound = base * tolerance
+            bad = current < bound
+        else:
+            bound = base / tolerance
+            bad = current > bound
+        regressed = regressed or bad
+        metrics[metric] = {
+            "current": current,
+            "baseline": base,
+            "bound": bound,
+            "regressed": bad,
+        }
+    return {
+        "status": "regressed" if regressed else "ok",
+        "path": str(path),
+        "tolerance": tolerance,
+        "metrics": metrics,
+    }
+
+
+def _apply_baseline(report: dict, mode: str, args) -> None:
+    """Attach the baseline comparison and warn on regressions."""
+    if args.compare_baseline is None:
+        return
+    comparison = compare_baseline(
+        report, mode, args.compare_baseline, args.baseline_tolerance
+    )
+    report["baseline_comparison"] = comparison
+    if comparison["status"] != "regressed":
+        return
+    for metric, entry in comparison["metrics"].items():
+        if entry["regressed"]:
+            print(
+                f"WARNING: {mode} {metric} {entry['current']:.3f} "
+                f"regressed past the baseline bound {entry['bound']:.3f} "
+                f"(baseline {entry['baseline']:.3f}, "
+                f"tolerance {args.baseline_tolerance})",
+                file=sys.stderr,
+            )
 
 
 def _time_best(fn, repeats: int) -> float:
@@ -343,8 +453,8 @@ def _campaign_main(args, registry) -> int:
             registry=registry,
         )
     except EquivalenceError as exc:
-        print(f"equivalence check FAILED:\n{exc}", file=sys.stderr)
-        return 1
+        return fail(f"equivalence check FAILED:\n{exc}")
+    _apply_baseline(report, "campaign", args)
     output = args.output or pathlib.Path("BENCH_campaign.json")
     output.write_text(json.dumps(report, indent=2) + "\n")
     emit_metrics(args.emit_metrics, registry)
@@ -355,6 +465,7 @@ def _campaign_main(args, registry) -> int:
         "speedup {speedup:.1f}x".format(**report)
     )
     print(f"wrote {output}")
+    gate_failed = False
     if (
         args.min_campaign_speedup
         and report["speedup"] < args.min_campaign_speedup
@@ -364,8 +475,8 @@ def _campaign_main(args, registry) -> int:
             f"required {args.min_campaign_speedup:.1f}x",
             file=sys.stderr,
         )
-        return 1
-    return 0
+        gate_failed = True
+    return resolve_exit(partial=gate_failed)
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -387,8 +498,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             registry=registry,
         )
     except EquivalenceError as exc:
-        print(f"equivalence check FAILED:\n{exc}", file=sys.stderr)
-        return 1
+        return fail(f"equivalence check FAILED:\n{exc}")
+    _apply_baseline(report, "replay", args)
     output = args.output or pathlib.Path("BENCH_replay.json")
     output.write_text(json.dumps(report, indent=2) + "\n")
     emit_metrics(args.emit_metrics, registry)
@@ -400,13 +511,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "obs-overhead {obs_overhead_ratio:.3f}".format(**report)
     )
     print(f"wrote {output}")
+    gate_failed = False
     if args.min_speedup and report["speedup"] < args.min_speedup:
         print(
             f"speedup {report['speedup']:.1f}x is below the required "
             f"{args.min_speedup:.1f}x",
             file=sys.stderr,
         )
-        return 1
+        gate_failed = True
     if (
         args.max_obs_overhead
         and report["obs_overhead_ratio"] > args.max_obs_overhead
@@ -416,8 +528,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             f"exceeds the allowed {args.max_obs_overhead:.3f}",
             file=sys.stderr,
         )
-        return 1
-    return 0
+        gate_failed = True
+    return resolve_exit(partial=gate_failed)
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -1,0 +1,210 @@
+"""Differential fuzzing entry point (:mod:`repro.crosscheck`).
+
+Clean mode generates scenarios until the time budget expires, runs each
+through its differential oracle, ddmin-shrinks any divergence and
+writes it as a JSON reproducer under ``--corpus-dir``::
+
+    python -m repro.tools.run_fuzz --time-budget 90 --seed 0 \\
+        --corpus-dir tests/corpus --json report.json
+
+Self-test mode (``--mutate``) instead plants each named seeded bug
+(``--mutate all`` for the full set) and asserts the fuzzer detects it
+within its share of the budget — the harness's detection power is
+itself the thing under test, so no reproducers are written::
+
+    python -m repro.tools.run_fuzz --mutate all --time-budget 120
+
+Exit codes follow the shared contract (:mod:`repro.tools._cli`):
+``EXIT_OK`` for a clean run / every mutation detected, ``EXIT_PARTIAL``
+when the run completed but found divergences, ``EXIT_FATAL`` when a
+seeded bug went undetected or the run itself failed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from ..crosscheck import (
+    DEFAULT_KIND_WEIGHTS,
+    SCENARIO_KINDS,
+    fuzz,
+    resolve_mutations,
+    run_mutation_self_test,
+)
+from ..errors import ReproError
+from ._cli import (
+    add_json_argument,
+    add_obs_arguments,
+    emit_json,
+    emit_metrics,
+    metrics_registry,
+    open_sink,
+    resolve_exit,
+)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-run-fuzz",
+        description="Differential fuzzing across the repo's redundant "
+        "implementations (scalar/batch replay, legacy/fast campaigns, "
+        "recovery audit replay, Monte-Carlo vs. analytic models).",
+    )
+    parser.add_argument(
+        "--time-budget",
+        type=float,
+        default=60.0,
+        metavar="SECONDS",
+        help="wall-clock fuzzing budget (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help="base seed of the scenario stream (default: 0)",
+    )
+    parser.add_argument(
+        "--corpus-dir",
+        default=None,
+        metavar="DIR",
+        help="write shrunk reproducers here (clean mode only)",
+    )
+    parser.add_argument(
+        "--kinds",
+        default=None,
+        metavar="KIND[,KIND...]",
+        help="restrict scenario kinds (default: all of "
+        + ", ".join(SCENARIO_KINDS)
+        + ")",
+    )
+    parser.add_argument(
+        "--max-scenarios",
+        type=int,
+        default=None,
+        metavar="N",
+        help="stop after N scenarios even if budget remains",
+    )
+    parser.add_argument(
+        "--no-shrink",
+        action="store_true",
+        help="record raw failing scenarios without ddmin minimization",
+    )
+    parser.add_argument(
+        "--mutate",
+        default=None,
+        metavar="NAME[,NAME...]|all",
+        help="self-test mode: plant each seeded bug and require the "
+        "fuzzer to detect it within budget",
+    )
+    add_json_argument(parser)
+    add_obs_arguments(parser)
+    return parser
+
+
+def _kind_weights(kinds: Optional[str]) -> Optional[dict]:
+    if kinds is None:
+        return None
+    chosen = [k.strip() for k in kinds.split(",") if k.strip()]
+    for kind in chosen:
+        if kind not in SCENARIO_KINDS:
+            raise ReproError(
+                f"unknown scenario kind {kind!r}; expected one of "
+                f"{SCENARIO_KINDS}"
+            )
+    return {k: DEFAULT_KIND_WEIGHTS[k] for k in chosen}
+
+
+def _mutate_main(args, sink, registry) -> int:
+    mutations = resolve_mutations(args.mutate)
+    outcomes = run_mutation_self_test(
+        mutations,
+        seed=args.seed,
+        time_budget=args.time_budget,
+        obs=sink,
+        metrics=registry,
+    )
+    missed = [o for o in outcomes if not o.detected]
+    for o in outcomes:
+        status = "detected" if o.detected else "MISSED"
+        line = (
+            f"{o.mutation:26s} {status:9s} "
+            f"({o.scenarios_run} scenarios, {o.elapsed_seconds:.1f}s)"
+        )
+        if o.detail:
+            line += f"  {o.detail}"
+        print(line)
+    emit_json(
+        args.json,
+        {
+            "mode": "mutate",
+            "seed": args.seed,
+            "time_budget": args.time_budget,
+            "mutations": [o.snapshot() for o in outcomes],
+            "missed": [o.mutation for o in missed],
+        },
+    )
+    if missed:
+        print(
+            f"{len(missed)}/{len(outcomes)} seeded bug(s) went undetected: "
+            + ", ".join(o.mutation for o in missed),
+            file=sys.stderr,
+        )
+    return resolve_exit(fatal=bool(missed))
+
+
+def _fuzz_main(args, sink, registry) -> int:
+    report = fuzz(
+        seed=args.seed,
+        time_budget=args.time_budget,
+        corpus_dir=args.corpus_dir,
+        kind_weights=_kind_weights(args.kinds),
+        max_scenarios=args.max_scenarios,
+        shrink=not args.no_shrink,
+        obs=sink,
+        metrics=registry,
+    )
+    kinds = "  ".join(
+        f"{kind}={count}" for kind, count in sorted(report.by_kind.items())
+    )
+    print(
+        f"{report.scenarios_run} scenarios in "
+        f"{report.elapsed_seconds:.1f}s  ({kinds})"
+    )
+    for finding in report.findings:
+        where = f" -> {finding.reproducer}" if finding.reproducer else ""
+        print(
+            f"DIVERGENCE at scenario {finding.index} "
+            f"({finding.scenario.kind}){where}",
+            file=sys.stderr,
+        )
+        for detail in finding.divergences[0].details[:5]:
+            print(f"  {detail}", file=sys.stderr)
+    if report.clean:
+        print("no divergences")
+    emit_json(args.json, report.snapshot())
+    return resolve_exit(partial=not report.clean)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.time_budget <= 0:
+        parser.error("--time-budget must be positive")
+    registry = metrics_registry(args.emit_metrics)
+    try:
+        with open_sink(args.trace_out) as sink:
+            if args.mutate is not None:
+                code = _mutate_main(args, sink, registry)
+            else:
+                code = _fuzz_main(args, sink, registry)
+    except ReproError as exc:
+        print(f"fuzz run failed: {exc}", file=sys.stderr)
+        return resolve_exit(fatal=True)
+    emit_metrics(args.emit_metrics, registry)
+    return code
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,81 @@
+"""Dedicated tests for repro.reliability.aliasing (paper Section 4.7)."""
+
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.reliability.aliasing import (
+    aliasing_vulnerable_bits,
+    mttf_aliasing_years,
+)
+from repro.reliability.mttf import ReliabilityInputs
+
+#: The paper's L2 configuration (Table 2 gzip-like numbers).
+L2 = ReliabilityInputs(
+    size_bits=512 * 1024 * 8,
+    dirty_fraction=0.3,
+    tavg_cycles=2.0e6,
+)
+
+
+class TestVulnerableBits:
+    def test_section_411_table(self):
+        """The k values the paper derives for each pair count."""
+        assert aliasing_vulnerable_bits(8, 1) == 7
+        assert aliasing_vulnerable_bits(8, 2) == 3
+        assert aliasing_vulnerable_bits(8, 4) == 1
+        assert aliasing_vulnerable_bits(8, 8) == 0
+
+    def test_more_pairs_never_increases_exposure(self):
+        values = [aliasing_vulnerable_bits(8, p) for p in (1, 2, 4, 8)]
+        assert values == sorted(values, reverse=True)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            aliasing_vulnerable_bits(8, 0)
+        with pytest.raises(ConfigurationError):
+            aliasing_vulnerable_bits(0, 1)
+        with pytest.raises(ConfigurationError):
+            aliasing_vulnerable_bits(8, 3)  # 3 does not divide 8
+
+
+class TestMttf:
+    def test_eight_pairs_eliminate_the_hazard(self):
+        assert mttf_aliasing_years(L2, num_pairs=8) == math.inf
+
+    def test_mttf_grows_with_fewer_vulnerable_bits(self):
+        one = mttf_aliasing_years(L2, num_pairs=1)
+        two = mttf_aliasing_years(L2, num_pairs=2)
+        four = mttf_aliasing_years(L2, num_pairs=4)
+        assert one < two < four
+
+    def test_scales_inversely_with_dirty_bits(self):
+        """Twice the dirty bits -> twice the first-fault rate -> half the
+        MTTF (the second-fault window is per-bit, unchanged)."""
+        small = mttf_aliasing_years(L2)
+        big = mttf_aliasing_years(
+            ReliabilityInputs(
+                size_bits=2 * L2.size_bits,
+                dirty_fraction=L2.dirty_fraction,
+                tavg_cycles=L2.tavg_cycles,
+            )
+        )
+        assert big == pytest.approx(small / 2)
+
+    def test_scales_inversely_with_scrub_window(self):
+        """A 10x longer Tavg leaves 10x the window for the second fault."""
+        slow = mttf_aliasing_years(
+            ReliabilityInputs(
+                size_bits=L2.size_bits,
+                dirty_fraction=L2.dirty_fraction,
+                tavg_cycles=10 * L2.tavg_cycles,
+            )
+        )
+        assert slow == pytest.approx(mttf_aliasing_years(L2) / 10)
+
+    def test_paper_magnitude(self):
+        """Section 4.7: ~4.19e20 years for the L2 configuration — only
+        the order of magnitude is pinned here (inputs are Table 2
+        roundings)."""
+        assert 1e19 < mttf_aliasing_years(L2) < 1e22

@@ -248,7 +248,9 @@ class TestRunBench:
                 str(out),
             ]
         )
-        assert code == 1
+        # A failed ratio gate is "results exist but a claim failed" —
+        # EXIT_PARTIAL under the shared exit-code contract.
+        assert code == 3
 
 
 def test_module_exports_are_arrays():

@@ -26,7 +26,7 @@ class TestSchemeFactory:
 
 class TestMatrix:
     def test_all_cells_present(self, matrix):
-        assert len(matrix.rates) == 8  # 4 schemes x 2 fault kinds
+        assert len(matrix.rates) == 10  # 5 schemes x 2 fault kinds
 
     def test_rates_are_distributions(self, matrix):
         for rates in matrix.rates.values():
