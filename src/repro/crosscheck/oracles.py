@@ -22,6 +22,10 @@ mirror the repo's four redundant computations:
 * :func:`check_doublefault` — the measured double-fault failure rate
   vs. the ``1/(p*w)`` analytical collision probability, within a
   binomial confidence band.
+* :func:`check_chaos` — the same campaign run chaos-free in process
+  and through the crash-safe runtime under a survivable
+  :class:`~repro.runtime.ChaosPlan` (worker kills, delays, checkpoint
+  I/O errors): absorbed faults must be bit-invisible in the result.
 
 :func:`run_scenario` routes a scenario to its oracle and wraps any
 mismatch in a :class:`Divergence`.
@@ -31,6 +35,7 @@ from __future__ import annotations
 
 import dataclasses
 import math
+import tempfile
 from typing import Callable, Dict, List
 
 from ..cppc.protection import CppcProtection
@@ -44,6 +49,7 @@ from ..memsim.cache import Cache
 from ..memsim.mainmem import MainMemory
 from ..obs.trail import reconstruct_corrections, verify_audit
 from ..reliability import montecarlo
+from ..runtime import CampaignRuntime, ChaosPlan, RetryPolicy
 from ..workloads.replay import FastReplay, GoldenMemory, TraceReplayer
 from .scenario import FaultOp, Scenario
 
@@ -281,6 +287,65 @@ def check_campaign(scenario: Scenario) -> List[str]:
 
 
 # ----------------------------------------------------------------------
+# chaos: chaos-free in-process run vs. the runtime under injected faults
+# ----------------------------------------------------------------------
+def check_chaos(scenario: Scenario) -> List[str]:
+    """Survivable chaos must be bit-invisible in the campaign result.
+
+    Every fault in the plan is one the runtime absorbs on its own
+    (worker kills and delays via retry, checkpoint I/O errors via the
+    appender's rollback-and-retry), so the chaos run must reproduce the
+    chaos-free sequential baseline per trial — and own up to the
+    absorbed faults in its degradation report.
+    """
+    config = CampaignConfig(
+        scheme_factory=scheme_factory(scenario.scheme),
+        benchmark=scenario.benchmark,
+        trials=scenario.trials,
+        warmup_references=scenario.warmup_references,
+        post_fault_references=scenario.post_fault_references,
+        fault_kind=scenario.fault_kind,
+        spatial_shape=tuple(scenario.spatial_shape),
+        dirty_only=scenario.dirty_only,
+        target_level=scenario.target_level,
+        seed=scenario.seed,
+    )
+    baseline = FaultCampaign(config).run()
+    plan = ChaosPlan(
+        seed=scenario.seed,
+        kinds=tuple(scenario.chaos_kinds),
+        rate=scenario.chaos_rate,
+    )
+    with tempfile.TemporaryDirectory(prefix="repro-chaos-oracle-") as tmp:
+        with CampaignRuntime(
+            jobs=1,
+            retry=RetryPolicy(max_attempts=3),
+            checkpoint_dir=tmp,
+            chaos=plan,
+        ) as runtime:
+            survived = FaultCampaign(config).run(runtime=runtime)
+    problems = [
+        f"trial {i}: chaos={vars(b)!r} baseline={vars(a)!r}"
+        for i, (a, b) in enumerate(zip(baseline.trials, survived.trials))
+        if vars(a) != vars(b)
+    ]
+    if len(baseline.trials) != len(survived.trials):
+        problems.append(
+            f"trial count: chaos={len(survived.trials)} "
+            f"baseline={len(baseline.trials)}"
+        )
+    if survived.failures or not survived.complete:
+        problems.append(
+            f"chaos campaign did not complete cleanly: "
+            f"{len(survived.failures)} failure(s), complete="
+            f"{survived.complete}"
+        )
+    if survived.degradation is None:
+        problems.append("chaos run attached no degradation report")
+    return problems
+
+
+# ----------------------------------------------------------------------
 # doublefault: measured failure rate vs. the 1/(p*w) analytic claim
 # ----------------------------------------------------------------------
 def check_doublefault(scenario: Scenario) -> List[str]:
@@ -329,6 +394,7 @@ ORACLES: Dict[str, Callable[[Scenario], List[str]]] = {
     "recovery": check_recovery,
     "campaign": check_campaign,
     "doublefault": check_doublefault,
+    "chaos": check_chaos,
 }
 
 

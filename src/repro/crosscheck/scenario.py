@@ -7,7 +7,7 @@ recipe) and perturb it (a fault plan).  Scenarios serialize to plain
 JSON, so a shrunk failure becomes a reproducer file under
 ``tests/corpus/`` that replays anywhere without the generator.
 
-Four scenario kinds, one per differential oracle
+Five scenario kinds, one per differential oracle
 (:mod:`repro.crosscheck.oracles`):
 
 * ``replay`` — a trace replayed through the scalar :class:`Cache` and
@@ -19,6 +19,9 @@ Four scenario kinds, one per differential oracle
   legacy warm-every-trial loop and the snapshot-fork fast path.
 * ``doublefault`` — a Monte-Carlo double-fault measurement compared to
   the ``1/(p*w)`` analytical collision probability.
+* ``chaos`` — one campaign run chaos-free in process and again through
+  the crash-safe runtime under a survivable
+  :class:`~repro.runtime.ChaosPlan`; recovery must be bit-invisible.
 
 :class:`ScenarioGenerator` samples scenarios from a weighted grammar,
 deterministically per ``(seed, index)``: regenerating scenario ``i`` of
@@ -42,17 +45,20 @@ from ..workloads.trace import TraceRecord
 #: Serialization format version stamped into every scenario/reproducer.
 FORMAT_VERSION = 1
 
-SCENARIO_KINDS = ("replay", "recovery", "campaign", "doublefault")
+SCENARIO_KINDS = ("replay", "recovery", "campaign", "doublefault", "chaos")
 
 #: Default sampling weight of each scenario kind.  Replay and recovery
 #: scenarios are cheap (hundreds of scalar accesses) and carry most of
 #: the word-for-word coverage; campaign and double-fault scenarios cost
 #: more per case, so they run less often but still every few seconds.
+#: Chaos scenarios spawn worker subprocesses and deliberately kill
+#: them, so they are the rarest (and smallest) kind.
 DEFAULT_KIND_WEIGHTS: Dict[str, float] = {
-    "replay": 0.40,
-    "recovery": 0.30,
-    "campaign": 0.20,
+    "replay": 0.37,
+    "recovery": 0.29,
+    "campaign": 0.19,
     "doublefault": 0.10,
+    "chaos": 0.05,
 }
 
 #: Benchmarks with small working sets — fuzz traces are only a few
@@ -135,6 +141,9 @@ class Scenario:
     # --- double-fault recipe ------------------------------------------
     samples: int = 48
     parity_ways: int = 8
+    # --- chaos recipe -------------------------------------------------
+    chaos_rate: float = 0.5
+    chaos_kinds: tuple = ("kill", "delay")
 
     def __post_init__(self):
         if self.kind not in SCENARIO_KINDS:
@@ -150,6 +159,7 @@ class Scenario:
         """A JSON-safe dict (records encoded as compact arrays)."""
         out = dataclasses.asdict(self)
         out["spatial_shape"] = list(self.spatial_shape)
+        out["chaos_kinds"] = list(self.chaos_kinds)
         out["records"] = [_record_to_json(r) for r in self.records]
         out["faults"] = [dataclasses.asdict(op) for op in self.faults]
         out["version"] = FORMAT_VERSION
@@ -165,6 +175,7 @@ class Scenario:
         data["records"] = [_record_from_json(r) for r in data.get("records", [])]
         data["faults"] = [FaultOp(**op) for op in data.get("faults", [])]
         data["spatial_shape"] = tuple(data.get("spatial_shape", (4, 4)))
+        data["chaos_kinds"] = tuple(data.get("chaos_kinds", ("kill", "delay")))
         return cls(**data)
 
     def canonical_json(self) -> str:
@@ -322,6 +333,30 @@ class ScenarioGenerator:
             spatial_shape=(rng.randrange(2, 9), rng.randrange(2, 9)),
             dirty_only=fault_kind == "temporal" and rng.random() < 0.4,
             target_level=rng.choice(("L1D", "L1D", "L2")),
+        )
+
+    def _gen_chaos(self, rng, index: int) -> Scenario:
+        # Small campaigns only: every chaos trial may cost a worker
+        # respawn, so the grammar trades trace length for fault variety.
+        # Kinds are any non-empty subset of the survivable worker faults
+        # plus the checkpoint I/O faults the appender self-heals.
+        survivable = ("kill", "delay", "enospc")
+        kinds = tuple(k for k in survivable if rng.random() < 0.5)
+        if not kinds:
+            kinds = (rng.choice(survivable),)
+        return Scenario(
+            kind="chaos",
+            seed=rng.getrandbits(32),
+            scheme=rng.choice(("cppc", "parity", "secded", "none")),
+            benchmark=rng.choice(_FUZZ_BENCHMARKS),
+            trials=rng.randrange(2, 5),
+            warmup_references=rng.randrange(100, 400),
+            post_fault_references=rng.randrange(80, 250),
+            fault_kind=rng.choice(("temporal", "spatial")),
+            spatial_shape=(rng.randrange(2, 9), rng.randrange(2, 9)),
+            target_level="L1D",
+            chaos_rate=rng.choice((0.5, 1.0)),
+            chaos_kinds=kinds,
         )
 
     def _gen_doublefault(self, rng, index: int) -> Scenario:

@@ -136,7 +136,8 @@ class TrialFailure:
         trial_index: which trial failed.
         seed: the trial's derived seed identity
             (:meth:`CampaignConfig.trial_seed`).
-        kind: ``"crash"`` or ``"timeout"``.
+        kind: ``"crash"``, ``"timeout"``, ``"hung"`` (heartbeat lost) or
+            ``"quarantined"`` (circuit breaker tripped).
         attempts: how many attempts were made before giving up.
         message: last error message observed.
     """
@@ -156,11 +157,18 @@ class CampaignResult:
     the runtime gave up on (crash/timeout after retries).  Outcome rates
     are over completed trials only, so partial campaigns stay valid
     estimates with an explicit denominator.
+
+    ``degradation`` is the runtime's structured account of absorbed
+    faults (chaos injections, lane kills, quarantined trials, checkpoint
+    self-heals; see :class:`repro.runtime.health.DegradationReport`) —
+    populated only by runtime-backed runs with a resilience feature
+    active, None otherwise.
     """
 
     config: CampaignConfig
     trials: List[TrialResult] = dataclasses.field(default_factory=list)
     failures: List[TrialFailure] = dataclasses.field(default_factory=list)
+    degradation: Optional[dict] = None
 
     @property
     def counts(self) -> Dict[Outcome, int]:

@@ -41,6 +41,32 @@ def kill_self() -> None:
     os.kill(os.getpid(), signal.SIGKILL)
 
 
+def stop_self() -> None:
+    """Freeze the worker with SIGSTOP (a hung-but-alive process).
+
+    Unlike :func:`hang`, the process stops *executing entirely* — its
+    heartbeat thread freezes with it, which is exactly the failure mode
+    wall-clock timeouts cannot distinguish from slow work but a
+    :class:`~repro.runtime.health.HeartbeatMonitor` can.
+    """
+    os.kill(os.getpid(), signal.SIGSTOP)
+
+
+def slow_once(marker_dir: str, delay_s: float, value=None):
+    """Sleep ``delay_s`` on the first call only (per marker directory).
+
+    Used to make a *preload* blow the lane warmup timeout exactly once:
+    the rebuilt lane's re-shipped preload returns instantly.
+    """
+    directory = Path(marker_dir)
+    directory.mkdir(parents=True, exist_ok=True)
+    marker = directory / "slow-once"
+    if not marker.exists():
+        marker.touch()
+        time.sleep(delay_s)
+    return value
+
+
 def flaky(marker_dir: str, succeed_on_attempt: int, value):
     """Fail (by crashing the process) until attempt ``succeed_on_attempt``.
 

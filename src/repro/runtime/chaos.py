@@ -1,0 +1,188 @@
+"""Seeded, deterministic chaos injection for the campaign runtime.
+
+The fault campaigns inject faults into *simulated caches*; this module
+injects faults into the *runtime that runs them* — worker deaths, wedged
+lanes, slow trials, and checkpoint I/O errors — so the recovery
+machinery (retries, lane rebuilds, heartbeats, self-healing appends) is
+exercised deliberately instead of only by rare production accidents.
+
+A :class:`ChaosPlan` is regenerable the same way the fuzzer's scenarios
+are: the op for trial ``i`` is a pure function of
+``(plan seed, "chaos", i)`` via :func:`repro.util.rng.split_seed`, so
+any trial's fault can be re-derived in isolation, in any process, from
+the plan parameters alone — a chaotic campaign reproduces exactly.
+
+Fault kinds (:data:`CHAOS_KINDS`):
+
+* ``kill`` — the worker SIGKILLs itself at trial start (a crashed lane).
+* ``wedge`` — the worker sleeps ``wedge_s`` before the trial, long
+  enough to blow any sane per-trial deadline (a hung lane).
+* ``delay`` — the worker sleeps a small seeded jitter first (a slow
+  trial, there to stress adaptive deadlines without failing anything).
+* ``enospc`` / ``fsync`` / ``torn`` — the trial's checkpoint append
+  fails with an injected I/O error (see
+  :class:`repro.util.jsonio.JsonlAppender`).
+
+Worker faults fire on attempt 1 only, so any retry policy with at least
+two attempts makes every worker fault *survivable*: the chaos-equivalence
+contract (chaotic run bit-identical to the clean run) holds because
+per-trial results are pure functions of seeds, never of attempt count.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Optional, Sequence, Set, Tuple
+
+from ..errors import ConfigurationError
+from ..util.jsonio import IO_FAULT_KINDS
+from ..util.rng import make_rng, split_seed
+
+#: Faults applied inside the worker, at trial start.
+WORKER_FAULT_KINDS = ("kill", "wedge", "delay")
+
+#: Faults applied to the trial's checkpoint append, driver-side.
+#: (Same spellings as :data:`repro.util.jsonio.IO_FAULT_KINDS`.)
+IO_CHAOS_KINDS = IO_FAULT_KINDS
+
+CHAOS_KINDS = WORKER_FAULT_KINDS + IO_CHAOS_KINDS
+
+#: Kinds a retry policy alone survives bit-identically (no deadline or
+#: checkpoint needed) — what the crosscheck oracle samples from.
+SURVIVABLE_KINDS = ("kill", "delay")
+
+
+@dataclasses.dataclass(frozen=True)
+class ChaosOp:
+    """One injected runtime fault, pinned to a trial and attempt.
+
+    Attributes:
+        kind: one of :data:`CHAOS_KINDS`.
+        trial_index: the trial this op targets.
+        attempt: the attempt (1-based) the fault fires on.  Plans
+            generate ``attempt=1`` so retries always clear the fault.
+        delay_s: sleep length for ``wedge``/``delay`` ops.
+    """
+
+    kind: str
+    trial_index: int
+    attempt: int = 1
+    delay_s: float = 0.0
+
+
+@dataclasses.dataclass(frozen=True)
+class ChaosPlan:
+    """Deterministic per-trial fault schedule.
+
+    Args:
+        seed: base seed; trial ``i``'s op derives from
+            ``split_seed(seed, "chaos", i)`` only.
+        kinds: fault kinds to sample from (default: all of
+            :data:`CHAOS_KINDS`).
+        rate: probability a given trial receives an op.
+        wedge_s: sleep injected by ``wedge`` ops (must exceed the
+            per-trial deadline to actually wedge).
+        max_delay_s: upper bound of the jitter ``delay`` ops inject.
+    """
+
+    seed: int = 0
+    kinds: Tuple[str, ...] = CHAOS_KINDS
+    rate: float = 0.25
+    wedge_s: float = 30.0
+    max_delay_s: float = 0.05
+
+    def __post_init__(self):
+        if not self.kinds:
+            raise ConfigurationError("a chaos plan needs at least one kind")
+        for kind in self.kinds:
+            if kind not in CHAOS_KINDS:
+                raise ConfigurationError(
+                    f"unknown chaos kind {kind!r}; expected one of "
+                    f"{CHAOS_KINDS}"
+                )
+        if not 0.0 <= self.rate <= 1.0:
+            raise ConfigurationError(
+                f"chaos rate must be within [0, 1], got {self.rate!r}"
+            )
+        if self.wedge_s <= 0 or self.max_delay_s < 0:
+            raise ConfigurationError("chaos delays must be positive")
+
+    @classmethod
+    def from_spec(
+        cls, spec: str, *, seed: int = 0, rate: float = 0.25, **kwargs
+    ) -> "ChaosPlan":
+        """Build a plan from a CLI spec: ``"all"`` or ``"kill,delay"``."""
+        text = (spec or "").strip().lower()
+        if text in ("", "all"):
+            kinds: Tuple[str, ...] = CHAOS_KINDS
+        else:
+            kinds = tuple(
+                part.strip() for part in text.split(",") if part.strip()
+            )
+        return cls(seed=seed, kinds=kinds, rate=rate, **kwargs)
+
+    # ------------------------------------------------------------------
+    def op_for(self, trial_index: int) -> Optional[ChaosOp]:
+        """The op injected into ``trial_index`` (None = left alone).
+
+        Pure: depends only on the plan parameters and the index, so the
+        driver, a test, and a postmortem all derive the same answer.
+        """
+        rng = make_rng(split_seed(self.seed, "chaos", trial_index))
+        if rng.random() >= self.rate:
+            return None
+        kind = self.kinds[rng.randrange(len(self.kinds))]
+        delay_s = 0.0
+        if kind == "wedge":
+            delay_s = self.wedge_s
+        elif kind == "delay":
+            delay_s = round(rng.uniform(0.0, self.max_delay_s), 6)
+        return ChaosOp(kind=kind, trial_index=trial_index, delay_s=delay_s)
+
+    def worker_op_for(self, trial_index: int) -> Optional[ChaosOp]:
+        """The op for ``trial_index`` if it is a worker fault."""
+        op = self.op_for(trial_index)
+        if op is not None and op.kind in WORKER_FAULT_KINDS:
+            return op
+        return None
+
+    def io_fault_hook(self) -> Callable[[int], Optional[str]]:
+        """A per-trial checkpoint-fault source for the store.
+
+        Returns a closure mapping ``trial_index`` to a one-shot I/O
+        fault kind (or None).  One-shot: the self-healed retry inside
+        :class:`~repro.util.jsonio.JsonlAppender` must not re-fail, and
+        a re-recorded trial (retry after a driver hiccup) is spared.
+        """
+        fired: Set[int] = set()
+
+        def hook(trial_index: int) -> Optional[str]:
+            op = self.op_for(trial_index)
+            if op is None or op.kind not in IO_CHAOS_KINDS:
+                return None
+            if trial_index in fired:
+                return None
+            fired.add(trial_index)
+            return op.kind
+
+        return hook
+
+    # ------------------------------------------------------------------
+    def ops(self, trials: int) -> Sequence[ChaosOp]:
+        """Every op the plan schedules for a ``trials``-long campaign."""
+        out = []
+        for index in range(trials):
+            op = self.op_for(index)
+            if op is not None:
+                out.append(op)
+        return out
+
+    def describe(self) -> dict:
+        """JSON-safe view for summaries and degradation reports."""
+        return {
+            "seed": self.seed,
+            "kinds": list(self.kinds),
+            "rate": self.rate,
+            "wedge_s": self.wedge_s,
+            "max_delay_s": self.max_delay_s,
+        }

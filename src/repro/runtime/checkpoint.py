@@ -20,11 +20,16 @@ import hashlib
 import json
 import os
 import threading
+import warnings
 from pathlib import Path
-from typing import Dict, Optional
+from typing import Callable, Dict, Optional
 
-from ..errors import CheckpointCorruptError, ConfigurationError
-from ..util.jsonio import canonical_json, line_checksum
+from ..errors import (
+    CheckpointCorruptError,
+    CheckpointWarning,
+    ConfigurationError,
+)
+from ..util.jsonio import JsonlAppender, canonical_json, line_checksum
 
 FORMAT_VERSION = 1
 MANIFEST_NAME = "MANIFEST.json"
@@ -91,11 +96,17 @@ class CheckpointStore:
         *,
         config_digest: str,
         resume: bool = False,
+        io_fault_hook: Optional[Callable[[int], Optional[str]]] = None,
     ):
         self.directory = Path(directory)
         self.config_digest = config_digest
         self._lock = threading.Lock()
-        self._log: Optional[object] = None
+        self._log: Optional[JsonlAppender] = None
+        # Chaos harness hook: maps a trial index to a one-shot injected
+        # I/O fault kind (see repro.runtime.chaos.ChaosPlan.io_fault_hook).
+        self._io_fault_hook = io_fault_hook
+        self._io_retries_closed = 0
+        self.torn_tail_dropped = 0
         manifest_path = self.directory / MANIFEST_NAME
         if manifest_path.exists():
             if not resume:
@@ -174,10 +185,23 @@ class CheckpointStore:
         """Path of the append-only trial log."""
         return self.directory / LOG_NAME
 
+    @property
+    def io_retries(self) -> int:
+        """Appends that needed the appender's truncate-and-retry heal."""
+        with self._lock:
+            live = self._log.io_retries if self._log is not None else 0
+            return self._io_retries_closed + live
+
     def record(
         self, trial_index: int, seed: int, kind: str, payload: dict
     ) -> None:
-        """Durably append one finished trial (append + flush + fsync)."""
+        """Durably append one finished trial (append + flush + fsync).
+
+        Appends go through :class:`~repro.util.jsonio.JsonlAppender`, so
+        a transient I/O failure (real or chaos-injected) is healed by
+        rolling the log back to the last durable record and retrying
+        once — the record is durable when this returns, or it raised.
+        """
         body = {
             "config_digest": self.config_digest,
             "trial_index": trial_index,
@@ -188,17 +212,18 @@ class CheckpointStore:
         line = _canonical({**body, "crc": _checksum(body)})
         with self._lock:
             if self._log is None:
-                self._log = open(self.log_path, "a", encoding="utf-8")
-            self._log.write(line + "\n")
-            self._log.flush()
-            os.fsync(self._log.fileno())
+                self._log = JsonlAppender(self.log_path)
+            if self._io_fault_hook is not None:
+                self._log.inject(self._io_fault_hook(trial_index))
+            self._log.append(line)
 
     def load(self) -> Dict[int, CheckpointRecord]:
         """Read back every trustworthy record, keyed by trial index.
 
-        A torn final line (the one write a SIGKILL can interrupt) is
-        dropped; a bad record anywhere before it raises
-        :class:`CheckpointCorruptError`.
+        A torn final line (the one write a SIGKILL or a failed disk can
+        interrupt) is dropped with a :class:`~repro.errors.CheckpointWarning`
+        — its trial simply re-executes on resume; a bad record anywhere
+        before it raises :class:`CheckpointCorruptError`.
         """
         records: Dict[int, CheckpointRecord] = {}
         if not self.log_path.exists():
@@ -212,7 +237,17 @@ class CheckpointStore:
                 record = self._parse_line(line)
             except CheckpointCorruptError:
                 if lineno == len(lines) - 1:
-                    break  # torn tail from a crash mid-append
+                    # Torn tail from a crash mid-append: drop it and
+                    # let the resume re-execute that trial.
+                    self.torn_tail_dropped += 1
+                    warnings.warn(
+                        f"dropping torn trailing checkpoint record at "
+                        f"{self.log_path}:{lineno + 1}; its trial will "
+                        "re-execute on resume",
+                        CheckpointWarning,
+                        stacklevel=2,
+                    )
+                    break
                 raise CheckpointCorruptError(
                     f"corrupt checkpoint record at "
                     f"{self.log_path}:{lineno + 1}"
@@ -245,6 +280,7 @@ class CheckpointStore:
         """Close the log file handle (records already durable)."""
         with self._lock:
             if self._log is not None:
+                self._io_retries_closed += self._log.io_retries
                 self._log.close()
                 self._log = None
 

@@ -1,0 +1,235 @@
+"""Liveness, adaptive deadlines, and graceful degradation accounting.
+
+Three related answers to "is this campaign still healthy?":
+
+* :class:`HeartbeatMonitor` — *liveness* distinct from wall-clock
+  budget.  Each worker rewrites a per-lane heartbeat file a few times a
+  second (:func:`repro.runtime.worker.initialize_worker` starts the
+  daemon thread); the driver watches the file's mtime and declares the
+  worker hung only when the beat stops, so a frozen worker (SIGSTOP,
+  deadlock) is killed in seconds while a merely slow trial keeps its
+  full deadline.
+* :class:`AdaptiveTimeout` — per-trial deadlines estimated from the
+  durations of completed trials (a percentile times a safety
+  multiplier), so a campaign whose trials take 80 ms does not give a
+  wedged lane the benefit of a 300 s static budget.
+* :class:`ExecutorHealth` / :class:`DegradationReport` — structured
+  accounting of everything the runtime absorbed (chaos injections, lane
+  kills, timeouts, heartbeat kills, quarantined trials, checkpoint
+  self-heals), attached to the campaign result so "it completed" and
+  "it completed *cleanly*" stay distinguishable.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import threading
+import time
+from typing import Dict, List, Optional
+
+
+class HeartbeatMonitor:
+    """Driver-side view of one worker's heartbeat file.
+
+    Staleness is measured against a monotonic clock from the moment the
+    mtime last *changed* (or from :meth:`reset`), so it needs no clock
+    agreement with the worker and survives coarse filesystem timestamp
+    granularity.  A missing file counts as fresh — the worker may not
+    have started beating yet, and wall-clock timeout still backstops it.
+    """
+
+    def __init__(self, path):
+        self.path = os.fspath(path)
+        self._last_mtime: Optional[float] = None
+        self._changed_at = time.monotonic()
+
+    def reset(self) -> None:
+        """Restart the staleness clock (call when a new trial starts)."""
+        self._last_mtime = None
+        self._changed_at = time.monotonic()
+
+    def stale_s(self) -> float:
+        """Seconds since the heartbeat file last changed."""
+        try:
+            mtime = os.stat(self.path).st_mtime_ns
+        except OSError:
+            mtime = None
+        if mtime != self._last_mtime:
+            self._last_mtime = mtime
+            self._changed_at = time.monotonic()
+        return time.monotonic() - self._changed_at
+
+    def stale(self, timeout_s: float) -> bool:
+        """True when the worker has not beaten for ``timeout_s``."""
+        return self.stale_s() > timeout_s
+
+
+def beat(path, interval_s: float, stop: threading.Event) -> None:
+    """Worker-side heartbeat loop: rewrite ``path`` every ``interval_s``.
+
+    Runs on a daemon thread inside each worker process.  A rewrite (not
+    a touch) so the file always has fresh content *and* a fresh mtime
+    even on filesystems that coalesce metadata updates.
+    """
+    path = os.fspath(path)
+    while not stop.wait(interval_s):
+        try:
+            with open(path, "w", encoding="utf-8") as fh:
+                fh.write(f"{os.getpid()} {time.time():.6f}\n")
+                fh.flush()
+        except OSError:  # pragma: no cover - scratch dir vanished
+            return
+
+
+class AdaptiveTimeout:
+    """Per-trial deadline learned from completed-trial durations.
+
+    Until ``min_samples`` trials have completed the fallback (static)
+    budget applies unchanged.  After that the deadline is
+    ``multiplier * percentile(durations)``, clamped to ``floor_s`` below
+    and to the static budget above — adaptation only ever *tightens* a
+    configured budget, never loosens it.
+    """
+
+    def __init__(
+        self,
+        *,
+        multiplier: float = 10.0,
+        percentile: float = 0.9,
+        min_samples: int = 5,
+        floor_s: float = 0.5,
+        max_samples: int = 256,
+    ):
+        self.multiplier = multiplier
+        self.percentile = percentile
+        self.min_samples = min_samples
+        self.floor_s = floor_s
+        self.max_samples = max_samples
+        self._durations: List[float] = []
+        self._lock = threading.Lock()
+
+    def observe(self, duration_s: float) -> None:
+        """Record one completed trial's duration."""
+        with self._lock:
+            self._durations.append(duration_s)
+            if len(self._durations) > self.max_samples:
+                self._durations.pop(0)
+
+    @property
+    def samples(self) -> int:
+        with self._lock:
+            return len(self._durations)
+
+    def deadline_s(self, fallback_s: Optional[float]) -> Optional[float]:
+        """The deadline to apply now (None = unlimited, as configured)."""
+        with self._lock:
+            if len(self._durations) < self.min_samples:
+                return fallback_s
+            ordered = sorted(self._durations)
+            rank = min(
+                len(ordered) - 1,
+                int(self.percentile * (len(ordered) - 1) + 0.5),
+            )
+            estimate = max(self.floor_s, self.multiplier * ordered[rank])
+        if fallback_s is None:
+            return estimate
+        return min(fallback_s, estimate)
+
+
+@dataclasses.dataclass
+class ExecutorHealth:
+    """Counters of everything one executor absorbed while running."""
+
+    lane_kills: int = 0
+    timeouts: int = 0
+    heartbeat_kills: int = 0
+    crashes: int = 0
+    quarantined: int = 0
+    chaos_injected: Dict[str, int] = dataclasses.field(default_factory=dict)
+
+    def count_chaos(self, kind: str) -> None:
+        self.chaos_injected[kind] = self.chaos_injected.get(kind, 0) + 1
+
+    def snapshot(self) -> dict:
+        return {
+            "lane_kills": self.lane_kills,
+            "timeouts": self.timeouts,
+            "heartbeat_kills": self.heartbeat_kills,
+            "crashes": self.crashes,
+            "quarantined": self.quarantined,
+            "chaos_injected": dict(sorted(self.chaos_injected.items())),
+        }
+
+
+@dataclasses.dataclass
+class DegradationReport:
+    """Structured account of a campaign's absorbed faults.
+
+    Attached (as :meth:`snapshot` JSON) to
+    :attr:`repro.faults.campaign.CampaignResult.degradation` whenever
+    chaos, quarantine, heartbeats, or adaptive deadlines were active.
+    ``quarantined`` lists each set-aside trial with its seed, attempt
+    count, and the classification of the error that exhausted it —
+    enough to re-run any quarantined trial in isolation.
+    """
+
+    executor: dict = dataclasses.field(default_factory=dict)
+    quarantined: List[dict] = dataclasses.field(default_factory=list)
+    chaos: Optional[dict] = None
+    checkpoint_io_retries: int = 0
+    checkpoint_torn_tail_dropped: int = 0
+
+    @property
+    def degraded(self) -> bool:
+        """True when anything at all had to be absorbed."""
+        return bool(
+            self.quarantined
+            or self.checkpoint_io_retries
+            or self.checkpoint_torn_tail_dropped
+            or any(
+                self.executor.get(key)
+                for key in (
+                    "lane_kills",
+                    "timeouts",
+                    "heartbeat_kills",
+                    "crashes",
+                    "quarantined",
+                )
+            )
+            or self.executor.get("chaos_injected")
+        )
+
+    def snapshot(self) -> dict:
+        return {
+            "degraded": self.degraded,
+            "executor": dict(self.executor),
+            "quarantined": list(self.quarantined),
+            "chaos": dict(self.chaos) if self.chaos else None,
+            "checkpoint": {
+                "io_retries": self.checkpoint_io_retries,
+                "torn_tail_dropped": self.checkpoint_torn_tail_dropped,
+            },
+        }
+
+
+def export_degradation_metrics(
+    registry, degradation: dict, prefix: str = "runtime."
+) -> None:
+    """Fold a degradation snapshot into a metrics registry."""
+    executor = degradation.get("executor", {})
+    for key in ("lane_kills", "timeouts", "heartbeat_kills", "crashes",
+                "quarantined"):
+        registry.counter(f"{prefix}{key}").inc(int(executor.get(key, 0)))
+    for kind, count in (executor.get("chaos_injected") or {}).items():
+        registry.counter(f"{prefix}chaos.{kind}").inc(int(count))
+    checkpoint = degradation.get("checkpoint", {})
+    registry.counter(f"{prefix}checkpoint.io_retries").inc(
+        int(checkpoint.get("io_retries", 0))
+    )
+    registry.counter(f"{prefix}checkpoint.torn_tail_dropped").inc(
+        int(checkpoint.get("torn_tail_dropped", 0))
+    )
+    registry.counter(f"{prefix}trials_quarantined").inc(
+        len(degradation.get("quarantined", ()))
+    )

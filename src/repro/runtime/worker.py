@@ -12,17 +12,32 @@ from __future__ import annotations
 import pickle
 import signal
 import sys
-from typing import Sequence
+import threading
+from typing import Optional, Sequence
+
+#: Worker-side heartbeat rewrite interval (seconds).  Small relative to
+#: any sensible ``heartbeat_timeout_s`` so a live worker never looks
+#: stale, large enough that beating is free next to real trial work.
+HEARTBEAT_INTERVAL_S = 0.2
+
+_HEARTBEAT_STOP: Optional[threading.Event] = None
 
 
-def initialize_worker(extra_sys_path: Sequence[str] = ()) -> None:
-    """Per-worker setup: import path and signal disposition.
+def initialize_worker(
+    extra_sys_path: Sequence[str] = (),
+    heartbeat_path: Optional[str] = None,
+) -> None:
+    """Per-worker setup: import path, signal disposition, heartbeat.
 
     ``spawn`` children rebuild ``sys.path`` from the environment, so the
     parent passes its own package location along for installs that rely
     on ``PYTHONPATH`` tricks.  SIGINT is ignored in workers: a Ctrl-C
-    belongs to the driver, which reaps workers explicitly.
+    belongs to the driver, which reaps workers explicitly.  When the
+    driver supplies ``heartbeat_path`` a daemon thread rewrites that
+    file every :data:`HEARTBEAT_INTERVAL_S` seconds — the liveness
+    signal :class:`repro.runtime.health.HeartbeatMonitor` watches.
     """
+    global _HEARTBEAT_STOP
     for path in extra_sys_path:
         if path not in sys.path:
             sys.path.insert(0, path)
@@ -30,6 +45,16 @@ def initialize_worker(extra_sys_path: Sequence[str] = ()) -> None:
         signal.signal(signal.SIGINT, signal.SIG_IGN)
     except (ValueError, OSError):  # pragma: no cover - exotic platforms
         pass
+    if heartbeat_path is not None and _HEARTBEAT_STOP is None:
+        from .health import beat
+
+        _HEARTBEAT_STOP = threading.Event()
+        thread = threading.Thread(
+            target=beat,
+            args=(heartbeat_path, HEARTBEAT_INTERVAL_S, _HEARTBEAT_STOP),
+            daemon=True,
+        )
+        thread.start()
 
 
 def package_sys_path() -> list:
@@ -44,6 +69,32 @@ def package_sys_path() -> list:
 def noop() -> None:
     """Warm-up task: proves a worker is alive and has imported repro."""
     return None
+
+
+def run_task_with_chaos(kind: str, delay_s: float, fn, args):
+    """Apply one worker-side chaos fault, then run the real task.
+
+    The executor substitutes this wrapper at submit time when the active
+    :class:`~repro.runtime.chaos.ChaosPlan` schedules a worker fault for
+    the (trial, attempt) being dispatched.  ``kill`` dies exactly the
+    way a crashed worker does; ``wedge``/``delay`` sleep first — the
+    former long enough to blow the deadline, the latter a small seeded
+    jitter — and then run the trial normally, so any surviving attempt
+    returns the bit-identical result the clean path would have.
+    """
+    import os
+    import time
+
+    if kind == "kill":
+        os.kill(os.getpid(), signal.SIGKILL)
+    elif kind in ("wedge", "delay"):
+        if delay_s > 0:
+            time.sleep(delay_s)
+    else:
+        from ..errors import CampaignRuntimeError
+
+        raise CampaignRuntimeError(f"unknown worker chaos kind {kind!r}")
+    return fn(*args)
 
 
 def run_campaign_trial(config, trial_index: int):

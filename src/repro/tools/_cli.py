@@ -30,6 +30,7 @@ import json
 import sys
 from typing import Optional
 
+from ..errors import ConfigurationError
 from ..obs import MetricsRegistry, TraceSink, make_sink
 
 EXIT_OK = 0
@@ -113,3 +114,36 @@ def fail(message: str) -> int:
     """Print ``message`` to stderr and return ``EXIT_FATAL``."""
     print(message, file=sys.stderr)
     return EXIT_FATAL
+
+
+# ----------------------------------------------------------------------
+# Argument validation at the CLI boundary
+#
+# Tools validate numeric flags here, before any config or runtime object
+# is built, so a bad ``--timeout`` fails with a typed
+# ConfigurationError and exit 1 instead of a traceback from deep inside
+# TrialExecutor half a campaign later.  ``flag`` names are spelled the
+# way the user typed them (``--retries``), values of None (flag not
+# given) pass through untouched.
+# ----------------------------------------------------------------------
+def require_positive(**flags) -> None:
+    """Raise :class:`ConfigurationError` for any value <= 0.
+
+    Keyword names are flag names with underscores (``timeout``,
+    ``chaos_rate``); the message renders them with dashes.
+    """
+    for name, value in flags.items():
+        if value is not None and value <= 0:
+            raise ConfigurationError(
+                f"--{name.replace('_', '-')} must be positive, "
+                f"got {value!r}"
+            )
+
+
+def require_non_negative(**flags) -> None:
+    """Raise :class:`ConfigurationError` for any value < 0."""
+    for name, value in flags.items():
+        if value is not None and value < 0:
+            raise ConfigurationError(
+                f"--{name.replace('_', '-')} must be >= 0, got {value!r}"
+            )

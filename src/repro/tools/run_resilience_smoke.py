@@ -1,22 +1,38 @@
-"""Kill-and-resume smoke: SIGKILL a campaign mid-run, resume, compare.
+"""Chaos-drill matrix: prove the runtime degrades gracefully end-to-end.
 
 ::
 
     python -m repro.tools.run_resilience_smoke --trials 8
+    python -m repro.tools.run_resilience_smoke --drill all
 
-The CI campaign-resilience job runs this end-to-end drill:
+Each ``--drill`` is one end-to-end recovery proof (the CI chaos-drill
+job runs them as a matrix):
 
-1. run a reference campaign to completion (checkpointed);
-2. launch the identical campaign as a child ``run_campaign`` process
-   against a second checkpoint directory, wait until at least one trial
-   is durably recorded, then SIGKILL the whole process tree;
-3. resume the interrupted campaign with ``--resume``;
-4. assert the resumed :class:`CampaignResult` summary is bit-identical
-   to the reference and that the checkpoint recorded fewer trials than
-   the campaign total before the kill (i.e. the kill interrupted real
-   work).
+* ``kill`` (default) — SIGKILL a checkpointed child campaign mid-run,
+  resume with ``--resume``, assert the resumed result is bit-identical
+  to an uninterrupted reference and that the kill interrupted real work.
+* ``wedge`` — every trial wedges on its first attempt
+  (:class:`~repro.runtime.ChaosPlan`), the wall-clock timeout kills the
+  lane, the retry succeeds; assert bit-identity to a chaos-free
+  sequential baseline plus a degradation report that owns up to the
+  timeouts.
+* ``torn-checkpoint`` — tear the final checkpoint record mid-line (a
+  crash between ``write`` and ``fsync``), resume; assert the loader
+  drops the torn tail with a :class:`~repro.errors.CheckpointWarning`,
+  re-executes that trial, and reproduces the reference bit-identically.
+* ``enospc`` — every checkpoint append hits an injected ``ENOSPC``
+  once; assert the appender's truncate-and-retry absorbs all of them
+  (``io_retries`` counted in the degradation report) and the result
+  matches the baseline.
+* ``overhead`` — ratio gate: interleaved best-of timing of the runtime
+  with the whole resilience stack armed-but-idle (heartbeat, adaptive
+  deadlines, quarantine, chaos at rate 0) against the plain runtime;
+  fails (exit 3) when the idle machinery costs more than
+  ``--max-chaos-overhead``.
+* ``all`` — every drill above, worst exit code wins.
 
-Exit code 0 on success, 1 on any mismatch (per :mod:`repro.tools._cli`).
+Exit codes follow :mod:`repro.tools._cli`: 0 all drills pass, 3 a ratio
+gate failed, 1 any recovery proof failed.
 """
 
 from __future__ import annotations
@@ -29,13 +45,17 @@ import subprocess
 import sys
 import tempfile
 import time
+import warnings
 from pathlib import Path
 from typing import Optional, Sequence
 
+from ..errors import CheckpointWarning
 from ..faults import CampaignConfig, FaultCampaign, scheme_factory
-from ..runtime import CampaignRuntime, campaign_digest
+from ..runtime import CampaignRuntime, ChaosPlan, RetryPolicy, campaign_digest
 from ._cli import (
+    EXIT_FATAL,
     EXIT_OK,
+    EXIT_PARTIAL,
     add_obs_arguments,
     emit_metrics,
     fail,
@@ -43,12 +63,18 @@ from ._cli import (
     open_sink,
 )
 
+DRILLS = ("kill", "wedge", "torn-checkpoint", "enospc", "overhead", "all")
+
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-run-resilience-smoke",
-        description="SIGKILL a checkpointed campaign mid-run and prove "
-        "--resume reproduces the uninterrupted result.",
+        description="Chaos-drill matrix: inject runtime faults end-to-end "
+        "and prove recovery reproduces the undisturbed result.",
+    )
+    parser.add_argument(
+        "--drill", choices=DRILLS, default="kill",
+        help="which recovery proof to run (default: %(default)s)",
     )
     parser.add_argument("--scheme", default="parity")
     parser.add_argument("--benchmark", default="gzip")
@@ -57,12 +83,27 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--post", type=int, default=600)
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument(
+        "--chaos-seed", type=int, default=0,
+        help="seed of the injected chaos plans (default: %(default)s)",
+    )
+    parser.add_argument(
         "--workdir", default=None,
         help="scratch directory (default: a fresh temp dir)",
     )
     parser.add_argument(
         "--kill-after-records", type=int, default=1,
-        help="SIGKILL once this many trials are durably recorded",
+        help="kill drill: SIGKILL once this many trials are durable",
+    )
+    parser.add_argument(
+        "--max-chaos-overhead", type=float, default=1.5, metavar="RATIO",
+        help="overhead drill: fail when idle resilience machinery costs "
+        "more than this ratio over the plain runtime "
+        "(default: %(default)s)",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=3,
+        help="overhead drill: interleaved best-of repetitions "
+        "(default: %(default)s)",
     )
     add_obs_arguments(parser)
     return parser
@@ -88,20 +129,8 @@ def _count_records(log_path: Path) -> int:
     return sum(1 for line in log_path.read_text().splitlines() if line)
 
 
-def main(argv: Optional[Sequence[str]] = None) -> int:
-    args = build_parser().parse_args(argv)
-    registry = metrics_registry(args.emit_metrics)
-    with open_sink(args.trace_out) as sink:
-        status = _run(args, sink, registry)
-    emit_metrics(args.emit_metrics, registry)
-    return status
-
-
-def _run(args, sink, registry) -> int:
-    workdir = Path(args.workdir or tempfile.mkdtemp(prefix="repro-smoke-"))
-    workdir.mkdir(parents=True, exist_ok=True)
-
-    config = CampaignConfig(
+def _config(args) -> CampaignConfig:
+    return CampaignConfig(
         scheme_factory=scheme_factory(args.scheme),
         benchmark=args.benchmark,
         trials=args.trials,
@@ -110,6 +139,63 @@ def _run(args, sink, registry) -> int:
         dirty_only=True,
         seed=args.seed,
     )
+
+
+def _trial_rows(result) -> list:
+    return [vars(t) for t in result.trials]
+
+
+def _check_equivalence(name: str, reference, survived) -> Optional[int]:
+    """Exit code when ``survived`` diverges from ``reference``, else None."""
+    if _trial_rows(survived) != _trial_rows(reference):
+        return fail(f"{name}: per-trial outcomes diverged from reference")
+    if survived.summary() != reference.summary():
+        return fail(f"{name}: summary diverged from reference")
+    if survived.failures or not survived.complete:
+        return fail(f"{name}: campaign did not complete cleanly")
+    return None
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    registry = metrics_registry(args.emit_metrics)
+    drills = (
+        ("kill", "wedge", "torn-checkpoint", "enospc", "overhead")
+        if args.drill == "all"
+        else (args.drill,)
+    )
+    statuses = {}
+    with open_sink(args.trace_out) as sink:
+        for drill in drills:
+            runner = _DRILL_RUNNERS[drill]
+            started = time.monotonic()
+            status = runner(args, sink, registry)
+            elapsed = time.monotonic() - started
+            statuses[drill] = status
+            print(f"drill {drill}: "
+                  f"{'ok' if status == EXIT_OK else f'FAILED ({status})'} "
+                  f"[{elapsed:.1f}s]")
+    emit_metrics(args.emit_metrics, registry)
+    if any(status == EXIT_FATAL for status in statuses.values()):
+        return EXIT_FATAL
+    if any(status == EXIT_PARTIAL for status in statuses.values()):
+        return EXIT_PARTIAL
+    return EXIT_OK
+
+
+def _workdir(args, drill: str) -> Path:
+    base = Path(args.workdir or tempfile.mkdtemp(prefix="repro-smoke-"))
+    workdir = base / drill
+    workdir.mkdir(parents=True, exist_ok=True)
+    return workdir
+
+
+# ----------------------------------------------------------------------
+# kill: SIGKILL a child campaign mid-run, resume, compare.
+# ----------------------------------------------------------------------
+def _drill_kill(args, sink, registry) -> int:
+    workdir = _workdir(args, "kill")
+    config = _config(args)
     digest = campaign_digest(config)
 
     # 1. Uninterrupted reference run.
@@ -168,19 +254,166 @@ def _run(args, sink, registry) -> int:
         resumed = FaultCampaign(config, obs=sink).run(runtime=runtime)
 
     # 4. Bit-identical equivalence: same per-trial outcomes, same rates.
-    reference_trials = [vars(t) for t in reference.trials]
-    resumed_trials = [vars(t) for t in resumed.trials]
-    if resumed_trials != reference_trials:
-        return fail("resumed per-trial outcomes differ from reference")
-    if resumed.summary() != reference.summary():
-        return fail("resumed summary differs from reference")
-    if resumed.failures or not resumed.complete:
-        return fail("resumed campaign is not complete")
+    status = _check_equivalence("kill", reference, resumed)
+    if status is not None:
+        return status
     print("resume matches uninterrupted reference: "
           + json.dumps(resumed.summary(), sort_keys=True))
     if registry is not None:
         resumed.export_metrics(registry)
     return EXIT_OK
+
+
+# ----------------------------------------------------------------------
+# wedge: every trial stalls past the deadline once, retries recover.
+# ----------------------------------------------------------------------
+def _drill_wedge(args, sink, registry) -> int:
+    config = _config(args)
+    reference = FaultCampaign(config, obs=sink).run()
+
+    plan = ChaosPlan(
+        seed=args.chaos_seed, kinds=("wedge",), rate=1.0, wedge_s=30.0
+    )
+    with CampaignRuntime(
+        jobs=1,
+        timeout_s=1.0,
+        retry=RetryPolicy(max_attempts=3),
+        chaos=plan,
+    ) as runtime:
+        survived = FaultCampaign(config, obs=sink).run(runtime=runtime)
+
+    status = _check_equivalence("wedge", reference, survived)
+    if status is not None:
+        return status
+    degradation = survived.degradation or {}
+    executor = degradation.get("executor", {})
+    if executor.get("timeouts", 0) < 1:
+        return fail("wedge: no timeout was absorbed — chaos did not fire")
+    if executor.get("chaos_injected", {}).get("wedge", 0) < args.trials:
+        return fail("wedge: fewer injections than trials")
+    print(f"wedge: absorbed {executor['timeouts']} timeout(s), "
+          "result bit-identical to chaos-free baseline")
+    return EXIT_OK
+
+
+# ----------------------------------------------------------------------
+# torn-checkpoint: tear the final record mid-line, resume, compare.
+# ----------------------------------------------------------------------
+def _drill_torn_checkpoint(args, sink, registry) -> int:
+    workdir = _workdir(args, "torn")
+    config = _config(args)
+    digest = campaign_digest(config)
+
+    with CampaignRuntime(jobs=1, checkpoint_dir=workdir) as runtime:
+        reference = FaultCampaign(config, obs=sink).run(runtime=runtime)
+    if not reference.complete:
+        return fail("torn-checkpoint: reference campaign did not complete")
+
+    log_path = workdir / digest[:16] / "trials.jsonl"
+    data = log_path.read_bytes().rstrip(b"\n")
+    cut = data.rfind(b"\n")
+    last_line = data[cut + 1:]
+    kept = max(1, len(last_line) // 2)
+    log_path.write_bytes(data[:cut + 1] + last_line[:kept])
+    print(f"tore final checkpoint record ({len(last_line) - kept} bytes lost)")
+
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        with CampaignRuntime(
+            jobs=1, checkpoint_dir=workdir, resume=True
+        ) as runtime:
+            resumed = FaultCampaign(config, obs=sink).run(runtime=runtime)
+    torn_warnings = [
+        w for w in caught if issubclass(w.category, CheckpointWarning)
+    ]
+    if not torn_warnings:
+        return fail("torn-checkpoint: loader did not warn about the tear")
+
+    status = _check_equivalence("torn-checkpoint", reference, resumed)
+    if status is not None:
+        return status
+    print("torn tail dropped with a warning; resume matches reference")
+    return EXIT_OK
+
+
+# ----------------------------------------------------------------------
+# enospc: every checkpoint append fails once, rollback-and-retry heals.
+# ----------------------------------------------------------------------
+def _drill_enospc(args, sink, registry) -> int:
+    workdir = _workdir(args, "enospc")
+    config = _config(args)
+    reference = FaultCampaign(config, obs=sink).run()
+
+    plan = ChaosPlan(seed=args.chaos_seed, kinds=("enospc",), rate=1.0)
+    with CampaignRuntime(
+        jobs=1, checkpoint_dir=workdir, chaos=plan
+    ) as runtime:
+        survived = FaultCampaign(config, obs=sink).run(runtime=runtime)
+
+    status = _check_equivalence("enospc", reference, survived)
+    if status is not None:
+        return status
+    degradation = survived.degradation or {}
+    io_retries = degradation.get("checkpoint", {}).get("io_retries", 0)
+    if io_retries < 1:
+        return fail("enospc: no I/O retry was absorbed — chaos did not fire")
+    print(f"enospc: absorbed {io_retries} checkpoint I/O retries, "
+          "result bit-identical to chaos-free baseline")
+    return EXIT_OK
+
+
+# ----------------------------------------------------------------------
+# overhead: armed-but-idle resilience machinery must be ~free.
+# ----------------------------------------------------------------------
+def _drill_overhead(args, sink, registry) -> int:
+    config = _config(args)
+
+    def run_plain() -> float:
+        started = time.perf_counter()
+        with CampaignRuntime(jobs=1) as runtime:
+            FaultCampaign(config).run(runtime=runtime)
+        return time.perf_counter() - started
+
+    def run_armed() -> float:
+        started = time.perf_counter()
+        with CampaignRuntime(
+            jobs=1,
+            timeout_s=120.0,
+            chaos=ChaosPlan(seed=args.chaos_seed, rate=0.0),
+            heartbeat_timeout_s=5.0,
+            adaptive_timeout=True,
+            quarantine=True,
+        ) as runtime:
+            FaultCampaign(config).run(runtime=runtime)
+        return time.perf_counter() - started
+
+    # Interleaved best-of: pairs alternate so drift (page cache, turbo)
+    # hits both sides equally; best-of discards scheduler noise.
+    plain_times, armed_times = [], []
+    for _ in range(args.repeats):
+        plain_times.append(run_plain())
+        armed_times.append(run_armed())
+    best_plain, best_armed = min(plain_times), min(armed_times)
+    ratio = best_armed / best_plain if best_plain > 0 else float("inf")
+    print(f"overhead: plain {best_plain:.3f}s, armed-idle {best_armed:.3f}s, "
+          f"ratio {ratio:.2f} (gate {args.max_chaos_overhead:.2f})")
+    if ratio > args.max_chaos_overhead:
+        print(
+            f"overhead gate failed: {ratio:.2f} > "
+            f"{args.max_chaos_overhead:.2f}",
+            file=sys.stderr,
+        )
+        return EXIT_PARTIAL
+    return EXIT_OK
+
+
+_DRILL_RUNNERS = {
+    "kill": _drill_kill,
+    "wedge": _drill_wedge,
+    "torn-checkpoint": _drill_torn_checkpoint,
+    "enospc": _drill_enospc,
+    "overhead": _drill_overhead,
+}
 
 
 if __name__ == "__main__":  # pragma: no cover

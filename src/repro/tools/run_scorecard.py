@@ -15,9 +15,15 @@ import argparse
 import sys
 from typing import Optional, Sequence
 
-from ..errors import ReproError
+from ..errors import ConfigurationError, ReproError
 from ..harness.scorecard import scorecard
-from ._cli import add_json_argument, emit_json, fail, resolve_exit
+from ._cli import (
+    add_json_argument,
+    emit_json,
+    fail,
+    require_positive,
+    resolve_exit,
+)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -36,6 +42,10 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    try:
+        require_positive(references=args.references)
+    except ConfigurationError as exc:
+        return fail(f"invalid arguments: {exc}")
     try:
         card = scorecard(n_references=args.references, seed=args.seed)
     except ReproError as exc:

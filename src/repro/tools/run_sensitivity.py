@@ -16,11 +16,18 @@ from __future__ import annotations
 import argparse
 from typing import Optional, Sequence
 
-from ..errors import ReproError
+from ..errors import ConfigurationError, ReproError
 from ..harness import sweep_interleaving, sweep_l1_size, sweep_seu_rate
-from ..runtime import CampaignRuntime
+from ..runtime import CampaignRuntime, RetryPolicy
 from ..workloads import benchmark_names
-from ._cli import add_json_argument, emit_json, fail, resolve_exit
+from ._cli import (
+    add_json_argument,
+    emit_json,
+    fail,
+    require_non_negative,
+    require_positive,
+    resolve_exit,
+)
 
 SWEEPS = ("l1-size", "seu-rate", "interleaving", "all")
 
@@ -47,12 +54,24 @@ def build_parser() -> argparse.ArgumentParser:
         "--timeout", type=float, default=None, metavar="SECONDS",
         help="per-row wall-clock budget when --jobs is given",
     )
+    parser.add_argument(
+        "--retries", type=int, default=None, metavar="N",
+        help="extra attempts for crashed/timed-out rows when --jobs is "
+             "given (default: 2)",
+    )
     add_json_argument(parser)
     return parser
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    try:
+        require_positive(
+            references=args.references, jobs=args.jobs, timeout=args.timeout
+        )
+        require_non_negative(retries=args.retries)
+    except ConfigurationError as exc:
+        return fail(f"invalid arguments: {exc}")
     selected = []
     if args.sweep in ("l1-size", "all"):
         selected.append(
@@ -69,8 +88,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             ("interleaving", lambda runtime: sweep_interleaving())
         )
 
+    retry = (
+        RetryPolicy(max_attempts=args.retries + 1)
+        if args.retries is not None
+        else RetryPolicy()
+    )
     runtime = (
-        CampaignRuntime(jobs=args.jobs, timeout_s=args.timeout)
+        CampaignRuntime(jobs=args.jobs, timeout_s=args.timeout, retry=retry)
         if args.jobs is not None
         else None
     )

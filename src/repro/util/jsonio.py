@@ -1,4 +1,4 @@
-"""Checksummed canonical-JSON line records.
+"""Checksummed canonical-JSON line records and a fault-aware appender.
 
 The writer discipline shared by campaign checkpoints
 (:class:`repro.runtime.checkpoint.CheckpointStore`) and trace sinks
@@ -6,12 +6,28 @@ The writer discipline shared by campaign checkpoints
 (sorted keys, no whitespace) carrying a short content checksum, so a
 reader can detect corruption and distinguish a torn tail line (crash
 mid-append) from damage anywhere earlier.
+
+:class:`JsonlAppender` is the durable writer half of that discipline —
+append + flush + fsync per record, with a remembered *good offset* (the
+end of the last record known durable) so an I/O error mid-append can be
+rolled back by truncating to the good offset and retrying once.  The
+``inject`` hook exists for the chaos harness
+(:mod:`repro.runtime.chaos`): it simulates ENOSPC, a torn partial write,
+and a failed fsync at the exact points real disks fail, which is how the
+self-healing path earns its test coverage.
 """
 
 from __future__ import annotations
 
+import errno
 import hashlib
 import json
+import os
+from pathlib import Path
+from typing import Optional
+
+#: Injectable I/O fault kinds understood by :meth:`JsonlAppender.append`.
+IO_FAULT_KINDS = ("enospc", "torn", "fsync")
 
 
 def canonical_json(payload: dict) -> str:
@@ -24,3 +40,102 @@ def line_checksum(payload: dict) -> str:
     return hashlib.sha256(
         canonical_json(payload).encode("utf-8")
     ).hexdigest()[:16]
+
+
+class JsonlAppender:
+    """Append-only JSONL writer with fsync discipline and self-healing.
+
+    Every :meth:`append` writes one line, flushes, and fsyncs before
+    returning, so a record is durable (or the call raised) — the
+    invariant :class:`~repro.runtime.checkpoint.CheckpointStore` builds
+    its torn-tail tolerance on.  On an :class:`OSError` anywhere in that
+    sequence the file is truncated back to the last known-good offset
+    (discarding any partial line the failed write left behind) and the
+    append is retried once on a freshly opened handle; a second failure
+    propagates.  ``io_retries`` counts successful self-heals.
+
+    Args:
+        path: the JSONL file; created on first append.
+        inject_next: optional one-shot fault (see :data:`IO_FAULT_KINDS`)
+            applied to the next append — set by the chaos harness via
+            :meth:`inject`.
+    """
+
+    def __init__(self, path):
+        self.path = Path(path)
+        self._fh = None
+        self._good_offset: Optional[int] = None
+        self._inject_next: Optional[str] = None
+        self.io_retries = 0
+
+    # ------------------------------------------------------------------
+    def inject(self, kind: Optional[str]) -> None:
+        """Arm a one-shot injected I/O fault for the next append."""
+        if kind is not None and kind not in IO_FAULT_KINDS:
+            raise ValueError(
+                f"unknown I/O fault kind {kind!r}; expected one of "
+                f"{IO_FAULT_KINDS}"
+            )
+        self._inject_next = kind
+
+    def _open(self):
+        if self._fh is None:
+            self._fh = open(self.path, "a", encoding="utf-8")
+            if self._good_offset is None:
+                self._good_offset = self._fh.tell()
+        return self._fh
+
+    def append(self, line: str) -> None:
+        """Durably append ``line`` (newline added); self-heal one failure."""
+        inject, self._inject_next = self._inject_next, None
+        try:
+            self._write(line, inject)
+        except OSError:
+            self._rollback()
+            self._write(line, None)
+            self.io_retries += 1
+        self._good_offset = self._fh.tell()
+
+    def _write(self, line: str, inject: Optional[str]) -> None:
+        fh = self._open()
+        if inject == "enospc":
+            raise OSError(errno.ENOSPC, "injected: no space left on device")
+        data = line + "\n"
+        if inject == "torn":
+            # Half a record reaches the disk, then the write "fails" —
+            # the same shape a real torn append leaves behind.
+            fh.write(data[: max(1, len(data) // 2)])
+            fh.flush()
+            raise OSError(errno.EIO, "injected: torn write")
+        fh.write(data)
+        fh.flush()
+        if inject == "fsync":
+            raise OSError(errno.EIO, "injected: fsync failed")
+        os.fsync(fh.fileno())
+
+    def _rollback(self) -> None:
+        """Truncate back to the last durable record boundary."""
+        fh, self._fh = self._fh, None
+        if fh is not None:
+            try:
+                fh.close()
+            except OSError:  # pragma: no cover - close-after-error race
+                pass
+        if self._good_offset is not None and self.path.exists():
+            with open(self.path, "rb+") as raw:
+                raw.truncate(self._good_offset)
+                raw.flush()
+                os.fsync(raw.fileno())
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Close the handle (appended records are already durable)."""
+        fh, self._fh = self._fh, None
+        if fh is not None:
+            fh.close()
+
+    def __enter__(self) -> "JsonlAppender":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

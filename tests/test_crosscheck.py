@@ -25,6 +25,7 @@ from repro.crosscheck.mutations import active
 from repro.crosscheck.oracles import (
     Divergence,
     apply_fault,
+    check_chaos,
     check_recovery,
     check_replay,
 )
@@ -100,6 +101,24 @@ class TestScenarioGrammar:
         with pytest.raises(ConfigurationError):
             Scenario.from_json(data)
 
+    def test_chaos_scenarios_stay_small_and_survivable(self):
+        generator = ScenarioGenerator(6, kind_weights={"chaos": 1.0})
+        for i in range(5):
+            scenario = generator.generate(i)
+            assert scenario.kind == "chaos"
+            assert 2 <= scenario.trials <= 4
+            assert scenario.chaos_kinds
+            assert set(scenario.chaos_kinds) <= {"kill", "delay", "enospc"}
+            assert 0.0 < scenario.chaos_rate <= 1.0
+
+    def test_chaos_kinds_round_trip_as_tuple(self):
+        scenario = ScenarioGenerator(
+            6, kind_weights={"chaos": 1.0}
+        ).generate(0)
+        rebuilt = Scenario.from_json(json.loads(json.dumps(scenario.to_json())))
+        assert rebuilt == scenario
+        assert isinstance(rebuilt.chaos_kinds, tuple)
+
 
 class TestApplyFault:
     def test_temporal_flips_one_bit(self):
@@ -149,6 +168,22 @@ class TestOracles:
         generator = ScenarioGenerator(4, kind_weights={"recovery": 1.0})
         scenario = generator.generate(0)
         assert check_recovery(scenario) == []
+
+    def test_chaos_oracle_clean(self):
+        # One real worker-kill campaign: the runtime must absorb the
+        # chaos and reproduce the chaos-free baseline bit for bit.
+        scenario = Scenario(
+            kind="chaos",
+            seed=11,
+            scheme="parity",
+            benchmark="gzip",
+            trials=2,
+            warmup_references=80,
+            post_fault_references=60,
+            chaos_rate=1.0,
+            chaos_kinds=("kill", "enospc"),
+        )
+        assert check_chaos(scenario) == []
 
     def test_run_scenario_wraps_crash_as_divergence(self, monkeypatch):
         import repro.crosscheck.oracles as oracles

@@ -1,0 +1,348 @@
+"""Tests for the chaos-injection harness and graceful-degradation layer.
+
+Chaos worker faults run real subprocesses, so the equivalence and
+quarantine tests here are deliberately tiny campaigns; the pure parts
+(plans, appender fault modes, adaptive deadlines) are exercised without
+any worker at all.
+"""
+
+import json
+
+import pytest
+
+from repro.errors import (
+    ConfigurationError,
+    TrialHungError,
+    TrialQuarantinedError,
+)
+from repro.faults import CampaignConfig, FaultCampaign, scheme_factory
+from repro.runtime import (
+    CHAOS_KINDS,
+    SURVIVABLE_KINDS,
+    AdaptiveTimeout,
+    CampaignRuntime,
+    ChaosPlan,
+    HeartbeatMonitor,
+    RetryPolicy,
+    TrialExecutor,
+    TrialTask,
+)
+from repro.runtime import _testhooks as hooks
+from repro.tools import run_campaign
+from repro.util.jsonio import IO_FAULT_KINDS, JsonlAppender
+
+
+def no_sleep(_seconds):
+    """Backoff stub so retry paths don't wait out real delays."""
+
+
+def tiny_config(**overrides):
+    params = dict(
+        scheme_factory=scheme_factory("parity"),
+        benchmark="gzip",
+        trials=4,
+        warmup_references=80,
+        post_fault_references=60,
+        seed=7,
+    )
+    params.update(overrides)
+    return CampaignConfig(**params)
+
+
+class TestChaosPlan:
+    def test_ops_are_deterministic_and_regenerable(self):
+        plan = ChaosPlan(seed=5, rate=1.0)
+        ops = plan.ops(20)
+        assert len(ops) == 20
+        # Any single trial's op re-derives in isolation, in any order.
+        for op in reversed(ops):
+            assert ChaosPlan(seed=5, rate=1.0).op_for(op.trial_index) == op
+
+    def test_rate_zero_schedules_nothing(self):
+        assert ChaosPlan(seed=1, rate=0.0).ops(50) == []
+
+    def test_rate_gates_probabilistically(self):
+        hits = len(ChaosPlan(seed=2, rate=0.25).ops(400))
+        assert 40 <= hits <= 160  # ~100 expected
+
+    def test_worker_ops_fire_on_attempt_one_only(self):
+        plan = ChaosPlan(seed=3, kinds=("kill",), rate=1.0)
+        op = plan.worker_op_for(0)
+        assert op is not None and op.attempt == 1
+
+    def test_wedge_and_delay_carry_delays(self):
+        plan = ChaosPlan(
+            seed=4, kinds=("wedge",), rate=1.0, wedge_s=12.5
+        )
+        assert plan.op_for(0).delay_s == 12.5
+        plan = ChaosPlan(seed=4, kinds=("delay",), rate=1.0, max_delay_s=0.01)
+        assert 0.0 <= plan.op_for(0).delay_s <= 0.01
+
+    def test_from_spec(self):
+        assert ChaosPlan.from_spec("all").kinds == CHAOS_KINDS
+        assert ChaosPlan.from_spec("").kinds == CHAOS_KINDS
+        assert ChaosPlan.from_spec("kill, delay").kinds == ("kill", "delay")
+        with pytest.raises(ConfigurationError):
+            ChaosPlan.from_spec("gamma-ray")
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ChaosPlan(kinds=())
+        with pytest.raises(ConfigurationError):
+            ChaosPlan(kinds=("bogus",))
+        with pytest.raises(ConfigurationError):
+            ChaosPlan(rate=1.5)
+        with pytest.raises(ConfigurationError):
+            ChaosPlan(wedge_s=0.0)
+
+    def test_survivable_kinds_need_no_deadline(self):
+        assert set(SURVIVABLE_KINDS) <= set(CHAOS_KINDS)
+        assert "wedge" not in SURVIVABLE_KINDS
+
+    def test_io_fault_hook_is_one_shot_per_trial(self):
+        plan = ChaosPlan(seed=6, kinds=("enospc",), rate=1.0)
+        hook = plan.io_fault_hook()
+        assert hook(0) == "enospc"
+        assert hook(0) is None  # the healed retry must not re-fail
+        assert hook(1) == "enospc"
+        # Worker-fault kinds never reach the I/O hook.
+        kill_hook = ChaosPlan(seed=6, kinds=("kill",), rate=1.0).io_fault_hook()
+        assert kill_hook(0) is None
+
+    def test_describe_is_json_safe(self):
+        described = ChaosPlan(seed=9, kinds=("kill",), rate=0.5).describe()
+        assert json.loads(json.dumps(described)) == described
+
+
+class TestJsonlAppender:
+    def read_lines(self, path):
+        return [
+            json.loads(line)
+            for line in path.read_text().splitlines()
+            if line
+        ]
+
+    @pytest.mark.parametrize("kind", IO_FAULT_KINDS)
+    def test_injected_fault_is_self_healed(self, tmp_path, kind):
+        path = tmp_path / "records.jsonl"
+        with JsonlAppender(path) as appender:
+            appender.append(json.dumps({"n": 1}))
+            appender.inject(kind)
+            appender.append(json.dumps({"n": 2}))
+            appender.append(json.dumps({"n": 3}))
+        assert appender.io_retries == 1
+        assert self.read_lines(path) == [{"n": 1}, {"n": 2}, {"n": 3}]
+
+    def test_torn_write_leaves_no_partial_residue(self, tmp_path):
+        path = tmp_path / "records.jsonl"
+        with JsonlAppender(path) as appender:
+            appender.append(json.dumps({"first": True}))
+            appender.inject("torn")
+            appender.append(json.dumps({"payload": "x" * 200}))
+        text = path.read_text()
+        assert text.count("\n") == 2
+        for line in text.splitlines():
+            json.loads(line)  # every surviving line is whole
+
+    def test_clean_appends_count_no_retries(self, tmp_path):
+        with JsonlAppender(tmp_path / "records.jsonl") as appender:
+            appender.append("{}")
+            appender.append("{}")
+        assert appender.io_retries == 0
+
+    def test_unknown_inject_kind_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            JsonlAppender(tmp_path / "records.jsonl").inject("sunspot")
+
+
+class TestAdaptiveTimeout:
+    def test_fallback_until_min_samples(self):
+        adaptive = AdaptiveTimeout(min_samples=5)
+        for _ in range(4):
+            adaptive.observe(0.01)
+        assert adaptive.deadline_s(300.0) == 300.0
+
+    def test_estimate_tightens_a_generous_budget(self):
+        adaptive = AdaptiveTimeout(
+            multiplier=10.0, min_samples=5, floor_s=0.5
+        )
+        for _ in range(10):
+            adaptive.observe(0.08)
+        deadline = adaptive.deadline_s(300.0)
+        assert deadline == pytest.approx(0.8)
+
+    def test_never_loosens_the_configured_budget(self):
+        adaptive = AdaptiveTimeout(multiplier=10.0, min_samples=5)
+        for _ in range(10):
+            adaptive.observe(5.0)  # estimate would be 50 s
+        assert adaptive.deadline_s(2.0) == 2.0
+
+    def test_floor_bounds_the_estimate(self):
+        adaptive = AdaptiveTimeout(
+            multiplier=10.0, min_samples=5, floor_s=0.5
+        )
+        for _ in range(10):
+            adaptive.observe(0.001)
+        assert adaptive.deadline_s(300.0) == 0.5
+
+    def test_unlimited_budget_still_gets_a_deadline(self):
+        adaptive = AdaptiveTimeout(multiplier=10.0, min_samples=5)
+        for _ in range(10):
+            adaptive.observe(0.1)
+        assert adaptive.deadline_s(None) == pytest.approx(1.0)
+
+    def test_sample_window_is_bounded(self):
+        adaptive = AdaptiveTimeout(max_samples=8)
+        for _ in range(100):
+            adaptive.observe(0.1)
+        assert adaptive.samples == 8
+
+
+class TestHeartbeatMonitor:
+    def test_rewrite_resets_staleness(self, tmp_path):
+        beat_file = tmp_path / "lane.beat"
+        monitor = HeartbeatMonitor(beat_file)
+        beat_file.write_text("1 0.0\n")
+        first = monitor.stale_s()
+        beat_file.write_text("1 1.0\n")
+        assert monitor.stale_s() <= first + 0.1
+        assert not monitor.stale(60.0)
+
+    def test_missing_file_is_not_an_error(self, tmp_path):
+        monitor = HeartbeatMonitor(tmp_path / "never-written.beat")
+        assert monitor.stale_s() >= 0.0
+
+
+class TestHeartbeatLiveness:
+    def test_frozen_worker_is_killed_by_heartbeat_not_wall_clock(self):
+        # SIGSTOP freezes the worker *and* its heartbeat thread — the
+        # wall clock (60 s) would never fire inside this test; only the
+        # liveness check can.
+        retry = RetryPolicy(max_attempts=1)
+        with TrialExecutor(
+            jobs=1, timeout_s=60.0, heartbeat_timeout_s=1.0, retry=retry
+        ) as executor:
+            reports = executor.run(
+                [TrialTask(index=0, seed=1, fn=hooks.stop_self, args=())]
+            )
+        report = reports[0]
+        assert not report.ok
+        assert isinstance(report.error, TrialHungError)
+        assert report.error.stale_s >= 1.0
+        assert executor.health.heartbeat_kills == 1
+        assert executor.health.lane_kills == 1
+
+    def test_healthy_tasks_pass_under_heartbeat(self):
+        with TrialExecutor(
+            jobs=1, timeout_s=30.0, heartbeat_timeout_s=5.0
+        ) as executor:
+            reports = executor.run(
+                [TrialTask(index=0, seed=1, fn=hooks.echo, args=("ok",))]
+            )
+        assert reports[0].ok and reports[0].value == "ok"
+        assert executor.health.heartbeat_kills == 0
+
+
+class TestQuarantine:
+    def test_poison_task_is_quarantined_with_cause(self):
+        retry = RetryPolicy(max_attempts=2, base_delay_s=0.0, jitter=0.0)
+        with TrialExecutor(
+            jobs=1, retry=retry, sleep=no_sleep, quarantine=True
+        ) as executor:
+            reports = executor.run(
+                [
+                    TrialTask(
+                        index=2, seed=9, fn=hooks.crash, args=("poison",)
+                    ),
+                    TrialTask(index=3, seed=10, fn=hooks.echo, args=("ok",)),
+                ]
+            )
+        poisoned, healthy = reports
+        assert isinstance(poisoned.error, TrialQuarantinedError)
+        assert poisoned.error.cause_kind == "crash"
+        assert poisoned.error.attempts == 2
+        assert poisoned.error.trial_index == 2
+        assert healthy.ok
+        assert executor.health.quarantined == 1
+
+    def test_campaign_quarantine_exits_partial_with_report(
+        self, tmp_path, capsys
+    ):
+        # Every trial wedges (30 s) against a 1 s deadline with no
+        # retries: with --quarantine the campaign must finish, list the
+        # quarantined trials in its degradation report, and exit 3.
+        out = tmp_path / "summary.json"
+        rc = run_campaign.main(
+            [
+                "parity",
+                "--benchmark", "gzip",
+                "--trials", "2",
+                "--warmup", "60",
+                "--post", "40",
+                "--chaos", "wedge",
+                "--chaos-rate", "1.0",
+                "--timeout", "1.0",
+                "--retries", "0",
+                "--quarantine",
+                "--json", str(out),
+            ]
+        )
+        assert rc == 3
+        payload = json.loads(out.read_text())
+        degradation = payload["degradation"]
+        assert degradation["degraded"] is True
+        assert len(degradation["quarantined"]) == 2
+        assert all(
+            entry["cause"] == "timeout"
+            for entry in degradation["quarantined"]
+        )
+        assert degradation["executor"]["chaos_injected"] == {"wedge": 2}
+        assert payload["complete"] is False
+        assert all(f["kind"] == "quarantined" for f in payload["failures"])
+        stdout = capsys.readouterr().out
+        assert "degraded: absorbed" in stdout
+        assert "quarantined trial" in stdout
+
+
+class TestChaosEquivalence:
+    def test_survivable_chaos_is_bit_invisible(self, tmp_path):
+        config = tiny_config()
+        baseline = FaultCampaign(config).run()
+        plan = ChaosPlan(seed=3, kinds=("kill", "delay"), rate=1.0)
+        with CampaignRuntime(
+            jobs=2,
+            retry=RetryPolicy(max_attempts=3, base_delay_s=0.0, jitter=0.0),
+            checkpoint_dir=tmp_path / "ckpt",
+            chaos=plan,
+        ) as runtime:
+            survived = FaultCampaign(config).run(runtime=runtime)
+        assert [vars(t) for t in survived.trials] == [
+            vars(t) for t in baseline.trials
+        ]
+        assert survived.summary() == baseline.summary()
+        assert survived.complete and not survived.failures
+        degradation = survived.degradation
+        assert degradation is not None and degradation["degraded"]
+        injected = degradation["executor"]["chaos_injected"]
+        assert set(injected) <= {"kill", "delay"}
+        assert sum(injected.values()) == config.trials
+
+    def test_chaos_free_runtime_attaches_no_degradation(self):
+        config = tiny_config(trials=2)
+        with CampaignRuntime(jobs=1) as runtime:
+            result = FaultCampaign(config).run(runtime=runtime)
+        assert result.complete
+        assert result.degradation is None
+
+    def test_resilience_active_reflects_knobs(self):
+        assert not CampaignRuntime(jobs=1).resilience_active
+        assert CampaignRuntime(jobs=1, quarantine=True).resilience_active
+        assert CampaignRuntime(
+            jobs=1, chaos=ChaosPlan(seed=0)
+        ).resilience_active
+        assert CampaignRuntime(
+            jobs=1, heartbeat_timeout_s=2.0
+        ).resilience_active
+        assert CampaignRuntime(
+            jobs=1, adaptive_timeout=True
+        ).resilience_active

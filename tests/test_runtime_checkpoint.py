@@ -1,10 +1,15 @@
 """Tests for the crash-safe checkpoint store and config digests."""
 
 import json
+import warnings
 
 import pytest
 
-from repro.errors import CheckpointCorruptError, ConfigurationError
+from repro.errors import (
+    CheckpointCorruptError,
+    CheckpointWarning,
+    ConfigurationError,
+)
 from repro.faults import CampaignConfig, scheme_factory
 from repro.runtime import CheckpointStore, campaign_digest
 
@@ -42,7 +47,7 @@ class TestRoundTrip:
 
 
 class TestCrashSafety:
-    def test_torn_tail_line_is_dropped(self, tmp_path):
+    def test_torn_tail_line_is_dropped_with_warning(self, tmp_path):
         store = make_store(tmp_path / "ckpt")
         store.record(0, 1, "result", {"outcome": "benign"})
         store.record(1, 2, "result", {"outcome": "due"})
@@ -50,8 +55,39 @@ class TestCrashSafety:
         log = tmp_path / "ckpt" / "trials.jsonl"
         lines = log.read_text().splitlines()
         log.write_text(lines[0] + "\n" + lines[1][: len(lines[1]) // 2])
-        records = make_store(tmp_path / "ckpt", resume=True).load()
+        resumed = make_store(tmp_path / "ckpt", resume=True)
+        with pytest.warns(CheckpointWarning, match="re-execute"):
+            records = resumed.load()
+        # The torn trial is simply absent, so resume re-executes it.
         assert set(records) == {0}
+        assert resumed.torn_tail_dropped == 1
+
+    def test_clean_load_emits_no_warning(self, tmp_path):
+        store = make_store(tmp_path / "ckpt")
+        store.record(0, 1, "result", {"outcome": "benign"})
+        store.close()
+        resumed = make_store(tmp_path / "ckpt", resume=True)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", CheckpointWarning)
+            records = resumed.load()
+        assert set(records) == {0}
+        assert resumed.torn_tail_dropped == 0
+
+    def test_injected_io_fault_is_absorbed_and_counted(self, tmp_path):
+        faults = iter(["enospc", None, "torn"])
+        store = CheckpointStore(
+            tmp_path / "ckpt",
+            config_digest=DIGEST,
+            io_fault_hook=lambda _trial: next(faults),
+        )
+        store.record(0, 1, "result", {"outcome": "benign"})
+        store.record(1, 2, "result", {"outcome": "due"})
+        store.record(2, 3, "result", {"outcome": "sdc"})
+        store.close()
+        assert store.io_retries == 2
+        records = make_store(tmp_path / "ckpt", resume=True).load()
+        assert set(records) == {0, 1, 2}
+        assert records[2].payload == {"outcome": "sdc"}
 
     def test_corruption_before_tail_raises(self, tmp_path):
         store = make_store(tmp_path / "ckpt")

@@ -157,6 +157,33 @@ class TestCrashes:
                 executor.map(hooks.crash, [("nope",)])
 
 
+class TestPreloadWarmupTimeout:
+    def test_slow_preload_blows_warmup_and_retry_recovers(
+        self, tmp_path, monkeypatch
+    ):
+        # The preload sleeps far past the (patched) lane warmup budget on
+        # its first run only; the timeout kills the lane, and the rebuilt
+        # lane's re-shipped preload returns instantly, so the trial
+        # itself succeeds on attempt 2.
+        from repro.runtime import executor as executor_module
+
+        monkeypatch.setattr(executor_module, "WARMUP_TIMEOUT_S", 3.0)
+        retry = RetryPolicy(max_attempts=2, base_delay_s=0.0, jitter=0.0)
+        with TrialExecutor(jobs=1, retry=retry, sleep=no_sleep) as executor:
+            executor.add_preload(
+                hooks.slow_once, str(tmp_path / "marks"), 30.0
+            )
+            reports = executor.run(
+                [TrialTask(index=0, seed=1, fn=hooks.echo, args=("ok",))]
+            )
+        report = reports[0]
+        assert report.ok
+        assert report.value == "ok"
+        assert report.attempts == 2
+        assert executor.health.crashes == 1
+        assert executor.health.lane_kills == 1
+
+
 class TestCallbacks:
     def test_on_report_fires_per_task(self):
         seen = []

@@ -117,6 +117,64 @@ class TestRunCampaign:
         assert "timeout" in out
 
 
+class TestCliValidation:
+    @pytest.mark.parametrize(
+        "argv,flag",
+        [
+            (["cppc", "--trials", "0"], "--trials"),
+            (["cppc", "--trials", "-3"], "--trials"),
+            (["cppc", "--jobs", "0"], "--jobs"),
+            (["cppc", "--timeout", "-1"], "--timeout"),
+            (["cppc", "--retries", "-1"], "--retries"),
+            (["cppc", "--warmup", "-5"], "--warmup"),
+            (["cppc", "--heartbeat", "0"], "--heartbeat"),
+            (["cppc", "--chaos-rate", "-0.5"], "--chaos-rate"),
+            (["cppc", "--chaos-rate", "1.5"], "--chaos-rate"),
+        ],
+    )
+    def test_run_campaign_rejects_bad_flags(self, capsys, argv, flag):
+        # Typed validation at the CLI boundary: exit 1 with the flag
+        # named, not a traceback from deep inside the runtime.
+        rc = run_campaign.main(argv)
+        assert rc == 1
+        err = capsys.readouterr().err
+        assert "invalid arguments" in err
+        assert flag in err
+
+    def test_run_campaign_rejects_unknown_chaos_kind(self, capsys):
+        rc = run_campaign.main(["cppc", "--chaos", "gamma-ray"])
+        assert rc == 1
+        assert "unknown chaos kind" in capsys.readouterr().err
+
+    def test_run_sensitivity_rejects_bad_flags(self, capsys):
+        from repro.tools import run_sensitivity
+
+        for argv in (
+            ["interleaving", "--jobs", "0"],
+            ["interleaving", "--timeout", "-2"],
+            ["interleaving", "--retries", "-1"],
+            ["interleaving", "-n", "0"],
+        ):
+            rc = run_sensitivity.main(argv)
+            assert rc == 1
+            assert "invalid arguments" in capsys.readouterr().err
+
+    def test_run_scorecard_rejects_bad_references(self, capsys):
+        from repro.tools import run_scorecard
+
+        rc = run_scorecard.main(["-n", "0"])
+        assert rc == 1
+        assert "--references" in capsys.readouterr().err
+
+    def test_zero_retries_stays_valid(self):
+        # --retries 0 means "no retry", which is a legal policy.
+        rc = run_campaign.main([
+            "parity", "--trials", "2", "--warmup", "60", "--post", "40",
+            "--retries", "0",
+        ])
+        assert rc == 0
+
+
 class TestRunSensitivity:
     def test_interleaving_sweep(self, capsys):
         from repro.tools import run_sensitivity
