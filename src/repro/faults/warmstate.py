@@ -49,8 +49,8 @@ from ..memsim.snapshot import (
 )
 from ..memsim.types import AccessType
 from ..workloads.replay import GoldenMemory, TraceReplayer
-from ..workloads.spec import make_workload
-from ..workloads.trace import TraceRecord, materialize
+from ..workloads.store import cached_records
+from ..workloads.trace import TraceRecord
 from .campaign import CampaignConfig
 
 
@@ -186,9 +186,13 @@ def _batch_warm(hierarchy: MemoryHierarchy, warm_records: List[TraceRecord]) -> 
 
 def build_warm_state(config: CampaignConfig) -> WarmState:
     """Simulate the shared warmup prefix once and package the result."""
-    workload = make_workload(config.benchmark, seed=config.workload_seed(0))
-    records = materialize(
-        workload.records(config.warmup_references + config.post_fault_references)
+    # cached_records goes through the columnar trace store when
+    # REPRO_TRACE_CACHE is set, so campaigns sharing a workload decode
+    # one on-disk trace instead of regenerating it per process.
+    records = cached_records(
+        config.benchmark,
+        config.workload_seed(0),
+        config.warmup_references + config.post_fault_references,
     )
     warm_records = records[: config.warmup_references]
     suffix_records = records[config.warmup_references :]

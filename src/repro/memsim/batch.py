@@ -136,6 +136,31 @@ class BatchTrace:
             dtype=np.uint64,
             count=n,
         )
+        return cls.from_columns(addr, size, is_store, gap, raw)
+
+    @classmethod
+    def from_columns(
+        cls,
+        addr: np.ndarray,
+        size: np.ndarray,
+        is_store: np.ndarray,
+        gap: np.ndarray,
+        raw: np.ndarray,
+    ) -> "BatchTrace":
+        """Build a trace straight from column arrays (no record objects).
+
+        ``raw`` carries each store's value bytes as a right-aligned
+        big-endian integer (zero for loads) — the representation the
+        columnar trace store (:mod:`repro.workloads.store`) decodes from
+        its value heap.  Input arrays may be read-only views (e.g. into
+        an mmap); they are adopted without copying.
+        """
+        addr = np.asarray(addr, dtype=np.int64)
+        size = np.asarray(size, dtype=np.int64)
+        is_store = np.asarray(is_store, dtype=bool)
+        gap = np.asarray(gap, dtype=np.int64)
+        raw = np.asarray(raw, dtype=np.uint64)
+        n = len(addr)
         trace = cls(
             addr=addr,
             size=size,
@@ -156,6 +181,49 @@ class BatchTrace:
             where=is_store,
         )
         return trace
+
+    def slice(self, start: int, stop: int) -> "BatchTrace":
+        """A zero-copy view of rows ``[start:stop)``."""
+        return BatchTrace(
+            addr=self.addr[start:stop],
+            size=self.size[start:stop],
+            is_store=self.is_store[start:stop],
+            gap=self.gap[start:stop],
+            value_word=self.value_word[start:stop],
+            value_mask=self.value_mask[start:stop],
+        )
+
+    def to_records(self) -> List:
+        """The exact :class:`~repro.workloads.trace.TraceRecord` list.
+
+        Inverse of :meth:`from_records`: store values are recovered by
+        shifting each positioned unit word back down to its raw bytes,
+        so ``BatchTrace.from_records(t.to_records())`` is bit-identical
+        to ``t``.
+        """
+        from ..workloads.trace import TraceRecord
+
+        shift = (8 * (WORD_BYTES - (self.addr & 7) - self.size)).astype(
+            np.uint64
+        )
+        raw = (self.value_word >> shift).tolist()
+        records = []
+        for a, s, st, g, v in zip(
+            self.addr.tolist(),
+            self.size.tolist(),
+            self.is_store.tolist(),
+            self.gap.tolist(),
+            raw,
+        ):
+            if st:
+                records.append(
+                    TraceRecord(
+                        AccessType.STORE, a, s, g, int(v).to_bytes(s, "big")
+                    )
+                )
+            else:
+                records.append(TraceRecord(AccessType.LOAD, a, s, g))
+        return records
 
     def validate(self) -> None:
         """Bulk-check the single-unit access preconditions."""
@@ -341,20 +409,57 @@ class BatchReplayEngine:
         microarchitectural details needed to rebuild a scalar hierarchy
         are recorded as a side effect (simulation outcomes unchanged).
         """
+        state = _ReplayState(self, capture)
+        self._feed(state, trace)
+        return self._finish(state)
+
+    def replay_chunks(
+        self,
+        chunks: Iterable[BatchTrace],
+        capture: Optional[ReplayCapture] = None,
+    ) -> BatchReplayResult:
+        """Replay a trace streamed as consecutive :class:`BatchTrace` chunks.
+
+        Cache, register and statistics state persist across chunk
+        boundaries, so the result is bit-identical to a one-shot
+        :meth:`replay` of the concatenated trace — only peak memory
+        differs (one chunk of columns at a time plus the cache state).
+        This is how a :class:`repro.workloads.store.ColumnarTraceReader`
+        replays traces far larger than the Python-object path allows.
+        """
+        state = _ReplayState(self, capture)
+        for chunk in chunks:
+            self._feed(state, chunk)
+        return self._finish(state)
+
+    def _feed(self, state: "_ReplayState", trace: BatchTrace) -> None:
+        """Resolve one chunk of accesses against the persistent state."""
         trace.validate()
         n = len(trace)
+        if n == 0:
+            return
         obs = self.obs if self.obs is not None and self.obs.enabled else None
         t_phase = time.perf_counter() if obs is not None else 0.0
+        offset = state.references
         set_idx, tags, units, classes = self.decompose(trace)
-        cycles = np.cumsum(trace.gap + 1)
-        # Every block the trace can touch, pre-mapped to a dense memory
-        # image slot so the replay loop never hashes an address.
+        cycles = state.last_cycle + np.cumsum(trace.gap + 1)
+        # Every block the chunk can touch, mapped to a persistent dense
+        # memory-image slot so the replay loop never hashes an address.
         block_addrs = trace.addr >> (self.block_bytes.bit_length() - 1)
-        unique_blocks, mem_slot = np.unique(block_addrs, return_inverse=True)
+        unique_blocks, inverse = np.unique(block_addrs, return_inverse=True)
         upb = self.units_per_block
-        memimg: List[List[int]] = [[0] * upb for _ in range(len(unique_blocks))]
+        block_slot = state.block_slot
+        lookup = np.empty(len(unique_blocks), dtype=np.int64)
+        for j, block in enumerate(unique_blocks.tolist()):
+            slot = block_slot.get(block)
+            if slot is None:
+                slot = len(state.memimg)
+                block_slot[block] = slot
+                state.slot_blocks.append(block)
+                state.memimg.append([0] * upb)
+            lookup[j] = slot
+        mem_slot = lookup[inverse]
 
-        counters = _Counters()
         r1_vals: List[int] = []
         r1_cls: List[int] = []
         r2_vals: List[int] = []
@@ -363,49 +468,35 @@ class BatchReplayEngine:
         delta_idx: List[int] = []
         delta_val: List[int] = []
 
-        # State arrays, indexed [set][way].
-        ways = self.ways
-        line_tag = [[-1] * ways for _ in range(self.num_sets)]
-        line_data: List[List[Optional[List[int]]]] = [
-            [None] * ways for _ in range(self.num_sets)
-        ]
-        line_dirty: List[List[Optional[List[bool]]]] = [
-            [None] * ways for _ in range(self.num_sets)
-        ]
-        line_last: List[List[Optional[List[Optional[int]]]]] = [
-            [None] * ways for _ in range(self.num_sets)
-        ]
-        line_slot = [[-1] * ways for _ in range(self.num_sets)]
-        line_ndirty = [[0] * ways for _ in range(self.num_sets)]
-
         order = np.argsort(set_idx, kind="stable")
         bounds = np.searchsorted(set_idx[order], np.arange(self.num_sets + 1))
         if obs is None:
-            # Uninstrumented path: one chunk, zero timing calls.
-            chunks = [(0, self.num_sets)]
+            # Uninstrumented path: one span, zero timing calls.
+            set_ranges = [(0, self.num_sets)]
         else:
             obs.span(
                 "batch",
                 "decompose",
                 t_phase,
                 time.perf_counter() - t_phase,
-                {"references": n},
+                {"references": n, "offset": offset},
             )
             step = -(-self.num_sets // self.OBS_CHUNKS)
-            chunks = [
+            set_ranges = [
                 (c0, min(c0 + step, self.num_sets))
                 for c0 in range(0, self.num_sets, step)
             ]
-        for c0, c1 in chunks:
+        for c0, c1 in set_ranges:
             t_chunk = time.perf_counter() if obs is not None else 0.0
             for s in range(c0, c1):
                 lo, hi = int(bounds[s]), int(bounds[s + 1])
                 if lo == hi:
                     continue
+                state.touched.add(s)
                 sub = order[lo:hi]
                 self._replay_set(
                     s,
-                    sub.tolist(),
+                    (sub + offset).tolist(),
                     tags[sub].tolist(),
                     units[sub].tolist(),
                     classes[sub].tolist(),
@@ -414,16 +505,17 @@ class BatchReplayEngine:
                     mem_slot[sub].tolist(),
                     trace.value_word[sub].tolist(),
                     trace.value_mask[sub].tolist(),
-                    memimg,
+                    state.memimg,
                     (
-                        line_tag[s],
-                        line_data[s],
-                        line_dirty[s],
-                        line_last[s],
-                        line_slot[s],
-                        line_ndirty[s],
+                        state.line_tag[s],
+                        state.line_data[s],
+                        state.line_dirty[s],
+                        state.line_last[s],
+                        state.line_slot[s],
+                        state.line_ndirty[s],
+                        state.lru[s],
                     ),
-                    counters,
+                    state.counters,
                     r1_vals,
                     r1_cls,
                     r2_vals,
@@ -431,7 +523,7 @@ class BatchReplayEngine:
                     intervals,
                     delta_idx,
                     delta_val,
-                    capture=capture,
+                    capture=state.capture,
                 )
             if obs is not None:
                 obs.span(
@@ -445,31 +537,41 @@ class BatchReplayEngine:
                     },
                 )
 
-        if capture is not None:
-            # Stable sort: within one access the miss read was appended
-            # before the victim write-back, matching the scalar order.
-            capture.events.sort(key=lambda e: e[0])
-            capture.line_last = line_last
-            bb = self.block_bytes
-            capture.slot_addr = [int(a) * bb for a in unique_blocks]
-            capture.final_cycle = int(cycles[-1]) if n else 0
         t_phase = time.perf_counter() if obs is not None else 0.0
-        stats = self._reduce_stats(
-            n,
-            cycles,
-            counters,
-            intervals,
-            delta_idx,
-            delta_val,
-        )
-        registers = self._reduce_registers(r1_vals, r1_cls, r2_vals, r2_cls)
-        lines = self._snapshot_lines(line_tag, line_data, line_dirty)
-        raw = np.array(memimg, dtype=np.uint64).astype(">u8").tobytes()
-        bb = self.block_bytes
-        memory = {
-            int(addr) * bb: raw[slot * bb : (slot + 1) * bb]
-            for slot, addr in enumerate(unique_blocks)
-        }
+        # Dirty-occupancy integral: the count in force over the interval
+        # ending at access i is the cumulative delta through access i-1
+        # (the scalar cache integrates *before* applying an access's
+        # dirty-bit changes).  The per-chunk increment telescopes to the
+        # one-shot reduction exactly because both are integer sums.
+        deltas = np.zeros(n, dtype=np.int64)
+        if delta_idx:
+            np.add.at(
+                deltas,
+                np.array(delta_idx, dtype=np.int64) - offset,
+                np.array(delta_val, dtype=np.int64),
+            )
+        counts = state.dirty_count + np.cumsum(deltas)
+        prev_counts = np.concatenate(([state.dirty_count], counts[:-1]))
+        spans = np.diff(np.concatenate(([state.last_cycle], cycles)))
+        state.integral += int(np.dot(spans, prev_counts))
+        state.dirty_count = int(counts[-1])
+        state.last_cycle = int(cycles[-1])
+        if intervals:
+            arr = np.array(intervals, dtype=np.int64)
+            state.interval_sum += int(arr.sum())
+            state.interval_count += len(arr)
+            buckets = np.maximum(
+                np.searchsorted(_POW2, arr, side="right") - 1, 0
+            )
+            hist = state.interval_hist
+            for b, count in enumerate(np.bincount(buckets)):
+                if count:
+                    hist[int(b)] = hist.get(int(b), 0) + int(count)
+        self._fold_stream(state.r1_acc, r1_vals, r1_cls)
+        self._fold_stream(state.r2_acc, r2_vals, r2_cls)
+        state.references += n
+        state.stores += int(trace.is_store.sum())
+        state.instructions += int(trace.gap.sum()) + n
         if obs is not None:
             obs.span(
                 "batch",
@@ -478,18 +580,101 @@ class BatchReplayEngine:
                 time.perf_counter() - t_phase,
                 {"references": n},
             )
+
+    def _finish(self, state: "_ReplayState") -> BatchReplayResult:
+        """Fold the accumulated state into the result bundle."""
+        capture = state.capture
+        bb = self.block_bytes
+        if capture is not None:
+            # Stable sort: within one access the miss read was appended
+            # before the victim write-back, matching the scalar order.
+            capture.events.sort(key=lambda e: e[0])
+            capture.line_last = state.line_last
+            capture.slot_addr = [int(b) * bb for b in state.slot_blocks]
+            capture.final_cycle = state.last_cycle
+            for s in sorted(state.touched):
+                capture.lru[s] = state.lru[s]
+        stats = CacheStats()
+        stats.configure(self.num_sets * self.ways * self.units_per_block)
+        c = state.counters
+        stats.read_hits = c.read_hits
+        stats.read_misses = c.read_misses
+        stats.write_hits = c.write_hits
+        stats.write_misses = c.write_misses
+        stats.fills = c.fills
+        stats.writebacks = c.writebacks
+        stats.evictions_clean = c.evictions_clean
+        stats.evictions_dirty = c.evictions_dirty
+        stats.read_before_writes = c.read_before_writes
+        stats.stores_to_dirty_units = c.stores_to_dirty
+        if state.references:
+            stats.dirty_time_integral = float(state.integral)
+            stats.observed_cycles = float(state.last_cycle)
+            stats._last_event_cycle = float(state.last_cycle)
+            stats._current_dirty_units = state.dirty_count
+        if state.interval_count:
+            stats.dirty_interval_sum = float(state.interval_sum)
+            stats.dirty_interval_count = state.interval_count
+            stats.dirty_interval_histogram = dict(
+                sorted(state.interval_hist.items())
+            )
+        registers = RegisterFile(
+            64, num_pairs=self.num_pairs, num_classes=self.num_classes
+        )
+        classes_per_pair = self.num_classes // self.num_pairs
+        for pair_index, pair in enumerate(registers.pairs):
+            for rotation_class in range(
+                pair_index * classes_per_pair,
+                (pair_index + 1) * classes_per_pair,
+            ):
+                pair.r1 ^= state.r1_acc[rotation_class]
+                pair.r2 ^= state.r2_acc[rotation_class]
+            # Incremental event parity telescopes to the parity of the
+            # final register value (popcount is linear over XOR mod 2).
+            pair.r1_parity = bin(pair.r1).count("1") & 1
+            pair.r2_parity = bin(pair.r2).count("1") & 1
+        lines = self._snapshot_lines(
+            state.line_tag, state.line_data, state.line_dirty
+        )
+        if state.memimg:
+            raw = np.array(state.memimg, dtype=np.uint64).astype(">u8").tobytes()
+        else:
+            raw = b""
+        memory = {
+            int(block) * bb: raw[slot * bb : (slot + 1) * bb]
+            for slot, block in enumerate(state.slot_blocks)
+        }
         return BatchReplayResult(
-            references=n,
-            loads=int(n - trace.is_store.sum()),
-            stores=int(trace.is_store.sum()),
-            instructions=trace.instructions,
+            references=state.references,
+            loads=state.references - state.stores,
+            stores=state.stores,
+            instructions=state.instructions,
             stats=stats,
             registers=registers,
             lines=lines,
             memory=memory,
-            memory_reads=counters.mem_reads,
-            memory_writes=counters.mem_writes,
+            memory_reads=c.mem_reads,
+            memory_writes=c.mem_writes,
         )
+
+    def _fold_stream(
+        self,
+        acc: List[int],
+        values: List[int],
+        stream_classes: List[int],
+    ) -> None:
+        """XOR one chunk's rotated value stream into the per-class accs."""
+        if not values:
+            return
+        vals = np.array(values, dtype=np.uint64)
+        cls = np.array(stream_classes, dtype=np.int64)
+        for rotation_class in range(self.num_classes):
+            selected = vals[cls == rotation_class]
+            if not len(selected):
+                continue
+            if self.byte_shifting:
+                selected = _rotl_bytes_u64(selected, rotation_class)
+            acc[rotation_class] ^= int(np.bitwise_xor.reduce(selected))
 
     # ------------------------------------------------------------------
     def _replay_set(
@@ -522,15 +707,16 @@ class BatchReplayEngine:
         exactly one set, so cache *and* memory-image state touched here
         is disjoint from every other set's.  The per-access work is a
         handful of integer operations; everything reducible is deferred
-        to the bulk phases.
+        to the bulk phases.  ``state`` (including the LRU order) lives in
+        the caller's :class:`_ReplayState`, so consecutive chunks of one
+        streamed trace resume exactly where the previous chunk stopped.
         """
-        ltag, ldata, ldirty, llast, lslot, lndirty = state
+        ltag, ldata, ldirty, llast, lslot, lndirty, lru = state
         ways = self.ways
         way_range = range(ways)
         upb = self.units_per_block
         num_classes = self.num_classes
         cls_base = (s * upb) % num_classes
-        lru = list(range(ways))
         r1v = r1_vals.append
         r1c = r1_cls.append
         r2v = r2_vals.append
@@ -627,99 +813,6 @@ class BatchReplayEngine:
             if lru[0] != w:
                 lru.remove(w)
                 lru.insert(0, w)
-        if capture is not None:
-            capture.lru[s] = lru
-
-    # ------------------------------------------------------------------
-    # Phase 3 — bulk reductions
-    # ------------------------------------------------------------------
-    def _reduce_registers(
-        self,
-        r1_vals: List[int],
-        r1_cls: List[int],
-        r2_vals: List[int],
-        r2_cls: List[int],
-    ) -> RegisterFile:
-        """Fold the dirty-word event streams into an (R1, R2) file."""
-        rf = RegisterFile(64, num_pairs=self.num_pairs, num_classes=self.num_classes)
-        for pair_index, pair in enumerate(rf.pairs):
-            pair.r1 = self._xor_stream(r1_vals, r1_cls, pair_index)
-            pair.r2 = self._xor_stream(r2_vals, r2_cls, pair_index)
-            # Incremental event parity telescopes to the parity of the
-            # final register value (popcount is linear over XOR mod 2).
-            pair.r1_parity = bin(pair.r1).count("1") & 1
-            pair.r2_parity = bin(pair.r2).count("1") & 1
-        return rf
-
-    def _xor_stream(
-        self, values: List[int], stream_classes: List[int], pair_index: int
-    ) -> int:
-        """``np.bitwise_xor.reduce`` of one pair's rotated value stream."""
-        if not values:
-            return 0
-        vals = np.array(values, dtype=np.uint64)
-        cls = np.array(stream_classes, dtype=np.int64)
-        acc = 0
-        for rotation_class in range(
-            pair_index * (self.num_classes // self.num_pairs),
-            (pair_index + 1) * (self.num_classes // self.num_pairs),
-        ):
-            selected = vals[cls == rotation_class]
-            if not len(selected):
-                continue
-            if self.byte_shifting:
-                selected = _rotl_bytes_u64(selected, rotation_class)
-            acc ^= int(np.bitwise_xor.reduce(selected))
-        return acc
-
-    def _reduce_stats(
-        self,
-        n: int,
-        cycles: np.ndarray,
-        c: "_Counters",
-        intervals: List[int],
-        delta_idx: List[int],
-        delta_val: List[int],
-    ) -> CacheStats:
-        """Rebuild a scalar-identical :class:`CacheStats` from events."""
-        stats = CacheStats()
-        stats.configure(self.num_sets * self.ways * self.units_per_block)
-        stats.read_hits = c.read_hits
-        stats.read_misses = c.read_misses
-        stats.write_hits = c.write_hits
-        stats.write_misses = c.write_misses
-        stats.fills = c.fills
-        stats.writebacks = c.writebacks
-        stats.evictions_clean = c.evictions_clean
-        stats.evictions_dirty = c.evictions_dirty
-        stats.read_before_writes = c.read_before_writes
-        stats.stores_to_dirty_units = c.stores_to_dirty
-        if n:
-            # Dirty-occupancy integral: the count in force over the
-            # interval ending at access i is the cumulative delta through
-            # access i-1 (the scalar cache integrates *before* applying
-            # an access's dirty-bit changes).
-            deltas = np.zeros(n, dtype=np.int64)
-            if delta_idx:
-                np.add.at(deltas, np.array(delta_idx), np.array(delta_val))
-            counts = np.cumsum(deltas)
-            prev_counts = np.concatenate(([0], counts[:-1]))
-            spans = np.diff(np.concatenate(([0], cycles)))
-            stats.dirty_time_integral = float(np.dot(spans, prev_counts))
-            stats.observed_cycles = float(cycles[-1])
-            stats._last_event_cycle = float(cycles[-1])
-            stats._current_dirty_units = int(counts[-1])
-        if intervals:
-            arr = np.array(intervals, dtype=np.int64)
-            stats.dirty_interval_sum = float(arr.sum())
-            stats.dirty_interval_count = len(arr)
-            buckets = np.maximum(np.searchsorted(_POW2, arr, side="right") - 1, 0)
-            stats.dirty_interval_histogram = {
-                int(b): int(count)
-                for b, count in enumerate(np.bincount(buckets))
-                if count
-            }
-        return stats
 
     def _snapshot_lines(
         self, line_tag, line_data, line_dirty
@@ -764,6 +857,77 @@ class _Counters:
     def __init__(self):
         for name in self.__slots__:
             setattr(self, name, 0)
+
+
+class _ReplayState:
+    """Cache state and reduction accumulators carried across chunks.
+
+    One instance spans one logical trace; :meth:`BatchReplayEngine._feed`
+    advances it by a chunk at a time and
+    :meth:`BatchReplayEngine._finish` folds it into a
+    :class:`BatchReplayResult`.  Everything whose size would otherwise
+    grow with the *trace* (event streams, interval lists, delta lists)
+    is reduced per chunk, so peak memory is one chunk of columns plus
+    the cache-sized state — the property that lets the columnar store
+    replay traces far larger than RAM-resident record lists.
+    """
+
+    __slots__ = (
+        "capture",
+        "counters",
+        "line_tag",
+        "line_data",
+        "line_dirty",
+        "line_last",
+        "line_slot",
+        "line_ndirty",
+        "lru",
+        "touched",
+        "block_slot",
+        "slot_blocks",
+        "memimg",
+        "references",
+        "stores",
+        "instructions",
+        "last_cycle",
+        "integral",
+        "dirty_count",
+        "interval_sum",
+        "interval_count",
+        "interval_hist",
+        "r1_acc",
+        "r2_acc",
+    )
+
+    def __init__(self, engine: BatchReplayEngine, capture):
+        num_sets, ways = engine.num_sets, engine.ways
+        self.capture = capture
+        self.counters = _Counters()
+        # Per-[set][way] line state, plus per-set MRU-to-LRU way order.
+        self.line_tag = [[-1] * ways for _ in range(num_sets)]
+        self.line_data = [[None] * ways for _ in range(num_sets)]
+        self.line_dirty = [[None] * ways for _ in range(num_sets)]
+        self.line_last = [[None] * ways for _ in range(num_sets)]
+        self.line_slot = [[-1] * ways for _ in range(num_sets)]
+        self.line_ndirty = [[0] * ways for _ in range(num_sets)]
+        self.lru = [list(range(ways)) for _ in range(num_sets)]
+        self.touched = set()
+        # Dense memory image, grown as new blocks appear.
+        self.block_slot = {}
+        self.slot_blocks = []
+        self.memimg = []
+        # Reduction carries.
+        self.references = 0
+        self.stores = 0
+        self.instructions = 0
+        self.last_cycle = 0
+        self.integral = 0
+        self.dirty_count = 0
+        self.interval_sum = 0
+        self.interval_count = 0
+        self.interval_hist = {}
+        self.r1_acc = [0] * engine.num_classes
+        self.r2_acc = [0] * engine.num_classes
 
 
 # ----------------------------------------------------------------------

@@ -4,6 +4,13 @@ Writes a synthetic benchmark trace in the text format of
 :mod:`repro.workloads.trace`::
 
     python -m repro.tools.gen_trace gcc --references 100000 -o gcc.trace
+
+or, with ``--format columnar``, in the chunked binary format of
+:mod:`repro.workloads.store` (streamed — generation never materializes
+the full trace)::
+
+    python -m repro.tools.gen_trace gcc -n 10000000 --format columnar \\
+        -o gcc.coltrace
 """
 
 from __future__ import annotations
@@ -13,6 +20,7 @@ import sys
 from typing import Optional, Sequence
 
 from ..workloads import benchmark_names, make_workload, save_trace
+from ..workloads.store import DEFAULT_CHUNK_RECORDS, write_trace
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -33,8 +41,17 @@ def build_parser() -> argparse.ArgumentParser:
         "--seed", type=int, default=0, help="generator seed (default: 0)"
     )
     parser.add_argument(
-        "--output", "-o", type=argparse.FileType("w"), default=sys.stdout,
-        help="output file (default: stdout)",
+        "--format", choices=("text", "columnar"), default="text",
+        help="trace encoding: one-line-per-record text or the chunked "
+        "columnar binary store (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--chunk-records", type=int, default=DEFAULT_CHUNK_RECORDS,
+        help="records per columnar chunk (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--output", "-o", default=None,
+        help="output file (default: stdout; required for --format columnar)",
     )
     return parser
 
@@ -42,10 +59,32 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     workload = make_workload(args.benchmark, seed=args.seed)
-    written = save_trace(workload.records(args.references), args.output)
-    if args.output is not sys.stdout:
-        args.output.close()
-        print(f"wrote {written} records for {args.benchmark}", file=sys.stderr)
+    records = workload.records(args.references)
+    if args.format == "columnar":
+        if args.output is None:
+            print(
+                "--format columnar writes a binary file; --output is "
+                "required",
+                file=sys.stderr,
+            )
+            return 2
+        written = write_trace(
+            records,
+            args.output,
+            chunk_records=args.chunk_records,
+            meta={
+                "benchmark": args.benchmark,
+                "seed": args.seed,
+                "n_references": args.references,
+            },
+        )
+    elif args.output is None:
+        save_trace(records, sys.stdout)
+        return 0
+    else:
+        with open(args.output, "w") as fh:
+            written = save_trace(records, fh)
+    print(f"wrote {written} records for {args.benchmark}", file=sys.stderr)
     return 0
 
 

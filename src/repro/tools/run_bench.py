@@ -16,6 +16,15 @@ writes ``BENCH_campaign.json``::
     python -m repro.tools.run_bench --campaign --trials 200 \\
         --min-campaign-speedup 3
 
+``--trace-format columnar`` benchmarks the on-disk columnar trace
+store (:mod:`repro.workloads.store`): streaming generation, columnar
+load into ``BatchTrace`` columns vs. one-line-per-record text parsing,
+chunked replay straight off the reader, and the content-addressed
+trace cache, writing ``BENCH_tracestore.json``::
+
+    python -m repro.tools.run_bench --trace-format columnar \\
+        --trace-len 200000 --min-load-speedup 5
+
 ``--min-speedup`` / ``--min-campaign-speedup`` turn the run into a
 gate: the exit status is ``EXIT_PARTIAL`` (results exist but a claim
 failed) when the measured speedup falls below the floor, which is how
@@ -38,8 +47,11 @@ import argparse
 import json
 import pathlib
 import sys
+import tempfile
 import time
 from typing import Optional, Sequence
+
+import numpy as np
 
 from ..errors import EquivalenceError
 from ..faults.schemes import SCHEMES, scheme_factory
@@ -47,6 +59,14 @@ from ..memsim.batch import BatchTrace
 from ..obs import NullSink, make_sink
 from ..workloads import benchmark_names, make_workload, materialize
 from ..workloads.replay import FastReplay, TraceReplayer
+from ..workloads.store import (
+    DEFAULT_CHUNK_RECORDS,
+    ColumnarTraceReader,
+    ColumnarTraceWriter,
+    TraceCache,
+    write_trace,
+)
+from ..workloads.trace import load_trace, save_trace
 from ._cli import (
     add_obs_arguments,
     emit_metrics,
@@ -67,6 +87,7 @@ DEFAULT_BASELINE = "BENCH_baseline.json"
 BASELINE_METRICS = {
     "replay": (("speedup", "min"), ("obs_overhead_ratio", "max")),
     "campaign": (("speedup", "min"),),
+    "tracestore": (("load_speedup", "min"),),
 }
 
 
@@ -128,6 +149,32 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="JSON report path (default: BENCH_replay.json, or "
         "BENCH_campaign.json with --campaign)",
+    )
+    store = parser.add_argument_group(
+        "trace-store mode",
+        "benchmark the columnar on-disk trace store against the text "
+        "format: generation streaming into chunks, load into BatchTrace "
+        "columns vs. text parse, chunked replay, and the trace cache",
+    )
+    store.add_argument(
+        "--trace-format",
+        choices=("records", "columnar"),
+        default="records",
+        help="'columnar' switches to the trace-store benchmark "
+        "(default: %(default)s, the in-memory replay benchmark)",
+    )
+    store.add_argument(
+        "--chunk-records",
+        type=int,
+        default=DEFAULT_CHUNK_RECORDS,
+        help="records per columnar chunk (default: %(default)s)",
+    )
+    store.add_argument(
+        "--min-load-speedup",
+        type=float,
+        default=0.0,
+        help="fail (exit 1) when the columnar-load vs. text-parse "
+        "speedup is below this (default: no gate)",
     )
     campaign = parser.add_argument_group(
         "campaign mode",
@@ -302,18 +349,23 @@ def run_bench(
     if checked:
         FastReplay(equivalence="always").run(records[:checked])
 
+    # Pack the trace (and the warmup prefix) into columns exactly once:
+    # the engines being timed both consume the same immutable BatchTrace,
+    # so the measurement no longer includes redundant from_records packing
+    # repeated per engine per repeat.
+    trace = BatchTrace.from_records(records)
+    warm_trace = trace.slice(0, min(WARMUP_REFERENCES, trace_len))
+    warm = records[: len(warm_trace)]
+
     # Warm both paths so one-time NumPy/interpreter setup costs do not
     # pollute the measurement.
-    warm = records[: min(WARMUP_REFERENCES, trace_len)]
-    replayer.engine.replay(BatchTrace.from_records(warm))
+    replayer.engine.replay(warm_trace)
     TraceReplayer(replayer.scalar_cache()).run(warm)
 
     batch_result = {}
 
     def batch_once():
-        batch_result["value"] = replayer.engine.replay(
-            BatchTrace.from_records(records)
-        )
+        batch_result["value"] = replayer.engine.replay(trace)
 
     # Zero-overhead-when-disabled: a NullSink attached to the engine must
     # keep the hot loop on its uninstrumented branch, so this ratio stays
@@ -321,10 +373,10 @@ def run_bench(
     # in alternation (not in separate back-to-back blocks) so slow drift
     # on a noisy machine cancels out of the ratio.
     disabled = FastReplay(equivalence="never", obs=NullSink())
-    disabled.engine.replay(BatchTrace.from_records(warm))
+    disabled.engine.replay(warm_trace)
 
     def disabled_once():
-        disabled.engine.replay(BatchTrace.from_records(records))
+        disabled.engine.replay(trace)
 
     batch_s = disabled_s = float("inf")
     for _ in range(max(1, repeats)):
@@ -358,8 +410,166 @@ def run_bench(
         )
     if trace_out is not None:
         with make_sink(trace_out) as sink:
-            FastReplay(equivalence="never", obs=sink).run(records)
+            FastReplay(equivalence="never", obs=sink).run(trace)
         report["trace_out"] = str(trace_out)
+    return report
+
+
+def run_tracestore_bench(
+    benchmark: str = "gcc",
+    trace_len: int = 200_000,
+    *,
+    equivalence_len: int = 1_000,
+    repeats: int = 3,
+    seed: int = 0,
+    chunk_records: int = DEFAULT_CHUNK_RECORDS,
+    workdir=None,
+    registry=None,
+) -> dict:
+    """Benchmark the columnar trace store and return the report.
+
+    Writes the same generated trace in both formats under ``workdir``
+    (a temporary directory by default), then measures, best of
+    ``repeats``:
+
+    * columnar load (file → replay-ready :class:`BatchTrace` columns)
+      against text parse (``load_trace`` → ``from_records``) — the
+      ``load_speedup`` ratio this mode gates on;
+    * chunked replay throughput straight off the reader;
+    * trace-cache miss (generate + write) vs. hit (decode) latency.
+
+    Correctness is asserted, not sampled: the columnar columns must be
+    bit-identical to the text round-trip, and a ``trace_len``-capped
+    prefix is replayed with ``FastReplay(equivalence="always")`` from
+    the columnar file, so a format bug fails the bench rather than
+    skewing it.  The writer streams from the generator; the report
+    records its buffered high-water mark.
+    """
+    if trace_len < 1:
+        raise ValueError("trace_len must be positive")
+    with tempfile.TemporaryDirectory() as tmp:
+        base = pathlib.Path(workdir) if workdir is not None else pathlib.Path(tmp)
+        base.mkdir(parents=True, exist_ok=True)
+        col_path = base / f"{benchmark}-{trace_len}.coltrace"
+        text_path = base / f"{benchmark}-{trace_len}.trace"
+
+        # Streaming generation straight into chunks (bounded memory).
+        start = time.perf_counter()
+        with ColumnarTraceWriter(
+            col_path, chunk_records=chunk_records
+        ) as writer:
+            writer.extend(
+                make_workload(benchmark, seed=seed).records(trace_len)
+            )
+        gen_columnar_s = time.perf_counter() - start
+        peak_buffered = writer.peak_buffered
+        if peak_buffered > chunk_records:
+            raise EquivalenceError(
+                f"streaming writer buffered {peak_buffered} records "
+                f"(more than one {chunk_records}-record chunk)"
+            )
+
+        start = time.perf_counter()
+        with open(text_path, "w") as fh:
+            save_trace(
+                make_workload(benchmark, seed=seed).records(trace_len), fh
+            )
+        gen_text_s = time.perf_counter() - start
+
+        def text_load():
+            with open(text_path) as fh:
+                return BatchTrace.from_records(list(load_trace(fh)))
+
+        def columnar_load():
+            with ColumnarTraceReader(col_path, use_mmap=False) as reader:
+                return reader.batch_trace()
+
+        text_load_s = _time_best(text_load, repeats)
+        col_load_s = _time_best(columnar_load, repeats)
+
+        # Bit-identity between the two load paths, checked on the real
+        # files the timings used.
+        text_trace = text_load()
+        col_trace = columnar_load()
+        for field in (
+            "addr", "size", "is_store", "gap", "value_word", "value_mask",
+        ):
+            if not np.array_equal(
+                getattr(text_trace, field), getattr(col_trace, field)
+            ):
+                raise EquivalenceError(
+                    f"columnar load diverged from the text round-trip "
+                    f"on column {field!r}"
+                )
+
+        # Scalar equivalence through the full columnar path (chunked
+        # replay + record decode for the scalar twin).
+        checked = min(equivalence_len, trace_len)
+        if checked:
+            check_path = base / "equivalence-prefix.coltrace"
+            with ColumnarTraceReader(col_path, use_mmap=False) as reader:
+                prefix = []
+                for record in reader.records():
+                    prefix.append(record)
+                    if len(prefix) >= checked:
+                        break
+            write_trace(
+                prefix, check_path, chunk_records=max(1, checked // 4)
+            )
+            with ColumnarTraceReader(check_path) as reader:
+                FastReplay(equivalence="always").run(reader)
+
+        # Chunked replay throughput straight off the reader.
+        engine_holder = FastReplay(equivalence="never")
+
+        def replay_chunked():
+            with ColumnarTraceReader(col_path, verify=False) as reader:
+                engine_holder.engine.replay_chunks(reader.iter_chunks())
+
+        replay_chunked()  # warm
+        replay_s = _time_best(replay_chunked, repeats)
+
+        # Content-addressed cache: first request generates and writes,
+        # the second decodes the cached file.
+        cache = TraceCache(base / "cache")
+        start = time.perf_counter()
+        cache.get_or_create(benchmark, seed, trace_len)
+        cache_miss_s = time.perf_counter() - start
+        start = time.perf_counter()
+        cached_path = cache.get_or_create(benchmark, seed, trace_len)
+        with ColumnarTraceReader(cached_path, use_mmap=False) as reader:
+            reader.batch_trace()
+        cache_hit_s = time.perf_counter() - start
+
+        report = {
+            "mode": "tracestore",
+            "benchmark": benchmark,
+            "trace_len": trace_len,
+            "seed": seed,
+            "repeats": repeats,
+            "chunk_records": chunk_records,
+            "equivalence_checked_references": checked,
+            "columnar_bytes": col_path.stat().st_size,
+            "text_bytes": text_path.stat().st_size,
+            "gen_columnar_seconds": gen_columnar_s,
+            "gen_text_seconds": gen_text_s,
+            "writer_peak_buffered": peak_buffered,
+            "text_load_seconds": text_load_s,
+            "columnar_load_seconds": col_load_s,
+            "load_speedup": text_load_s / col_load_s,
+            "chunked_replay_seconds": replay_s,
+            "chunked_replay_ops_per_sec": trace_len / replay_s,
+            "cache_miss_seconds": cache_miss_s,
+            "cache_hit_seconds": cache_hit_s,
+            "columns_identical": True,
+        }
+    if registry is not None:
+        registry.gauge("bench.tracestore_load_speedup").set(
+            report["load_speedup"]
+        )
+        registry.gauge("bench.tracestore_replay_ops_per_sec").set(
+            report["chunked_replay_ops_per_sec"]
+        )
     return report
 
 
@@ -479,6 +689,44 @@ def _campaign_main(args, registry) -> int:
     return resolve_exit(partial=gate_failed)
 
 
+def _tracestore_main(args, registry) -> int:
+    try:
+        report = run_tracestore_bench(
+            args.benchmark,
+            args.trace_len,
+            equivalence_len=args.equivalence_len,
+            repeats=args.repeats,
+            seed=args.seed,
+            chunk_records=args.chunk_records,
+            registry=registry,
+        )
+    except EquivalenceError as exc:
+        return fail(f"equivalence check FAILED:\n{exc}")
+    _apply_baseline(report, "tracestore", args)
+    output = args.output or pathlib.Path("BENCH_tracestore.json")
+    output.write_text(json.dumps(report, indent=2) + "\n")
+    emit_metrics(args.emit_metrics, registry)
+    print(
+        "{benchmark}: {trace_len} refs  "
+        "text-load {text_load_seconds:.3f}s  "
+        "columnar-load {columnar_load_seconds:.3f}s  "
+        "load-speedup {load_speedup:.1f}x  "
+        "chunked-replay {chunked_replay_ops_per_sec:.0f} ops/s".format(
+            **report
+        )
+    )
+    print(f"wrote {output}")
+    gate_failed = False
+    if args.min_load_speedup and report["load_speedup"] < args.min_load_speedup:
+        print(
+            f"columnar load speedup {report['load_speedup']:.1f}x is below "
+            f"the required {args.min_load_speedup:.1f}x",
+            file=sys.stderr,
+        )
+        gate_failed = True
+    return resolve_exit(partial=gate_failed)
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
@@ -487,6 +735,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     registry = metrics_registry(args.emit_metrics)
     if args.campaign:
         return _campaign_main(args, registry)
+    if args.trace_format == "columnar":
+        return _tracestore_main(args, registry)
     try:
         report = run_bench(
             args.benchmark,

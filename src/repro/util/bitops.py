@@ -50,7 +50,7 @@ def popcount(x: int) -> int:
 def parity(x: int) -> int:
     """Even-parity bit of ``x``: 1 if the number of set bits is odd."""
     if x < 0:
-        raise ConfigurationError("popcount requires a non-negative integer")
+        raise ConfigurationError("parity requires a non-negative integer")
     return x.bit_count() & 1
 
 

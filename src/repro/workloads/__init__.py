@@ -17,6 +17,15 @@ from .spec import (
     get_profile,
     make_workload,
 )
+from .store import (
+    ColumnarTraceReader,
+    ColumnarTraceWriter,
+    TraceCache,
+    cached_records,
+    default_trace_cache,
+    load_batch_trace,
+    write_trace,
+)
 from .trace import TraceRecord, load_trace, materialize, save_trace, trace_stats
 from .transforms import (
     drop,
@@ -42,6 +51,13 @@ __all__ = [
     "benchmark_names",
     "get_profile",
     "make_workload",
+    "ColumnarTraceReader",
+    "ColumnarTraceWriter",
+    "TraceCache",
+    "cached_records",
+    "default_trace_cache",
+    "load_batch_trace",
+    "write_trace",
     "TraceRecord",
     "load_trace",
     "materialize",

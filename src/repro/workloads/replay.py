@@ -249,13 +249,33 @@ class FastReplay:
             next_level=MainMemory(block_bytes=self.engine.block_bytes),
         )
 
-    def run(self, records: Iterable[TraceRecord]) -> FastReplayResult:
-        """Replay ``records``; cross-check against the scalar cache when
-        the equivalence mode says so."""
+    def run(self, source) -> FastReplayResult:
+        """Replay a trace; cross-check against the scalar cache when the
+        equivalence mode says so.
+
+        ``source`` may be an iterable of :class:`TraceRecord`, an
+        already-packed :class:`~repro.memsim.batch.BatchTrace`, or a
+        chunked columnar reader (anything with ``iter_chunks()``, e.g.
+        :class:`~repro.workloads.store.ColumnarTraceReader`) — chunked
+        sources replay through
+        :meth:`~repro.memsim.batch.BatchReplayEngine.replay_chunks`
+        without ever concatenating the trace.  Cross-checking a
+        non-record source decodes records back out of the columns, so
+        the scalar twin replays word-for-word the same stream.
+        """
         obs = self.obs if self.obs is not None and self.obs.enabled else None
         t0 = time.perf_counter() if obs is not None else 0.0
-        records = materialize(records)
-        batch = self.engine.replay(BatchTrace.from_records(records))
+        records = None
+        if hasattr(source, "iter_chunks"):
+            batch = self.engine.replay_chunks(source.iter_chunks())
+            record_source = source.records
+        elif isinstance(source, BatchTrace):
+            batch = self.engine.replay(source)
+            record_source = source.to_records
+        else:
+            records = materialize(source)
+            batch = self.engine.replay(BatchTrace.from_records(records))
+            record_source = None
         summary = ReplayResult(
             references=batch.references,
             loads=batch.loads,
@@ -264,7 +284,7 @@ class FastReplay:
         )
         check = self.equivalence == "always" or (
             self.equivalence == "auto"
-            and len(records) <= self.equivalence_limit
+            and batch.references <= self.equivalence_limit
         )
         if obs is not None:
             obs.span(
@@ -276,6 +296,8 @@ class FastReplay:
             )
         if check:
             t0 = time.perf_counter() if obs is not None else 0.0
+            if records is None:
+                records = materialize(record_source())
             problems = self._cross_check(records, batch)
             if obs is not None:
                 obs.span(

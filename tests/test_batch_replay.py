@@ -253,6 +253,60 @@ class TestRunBench:
         assert code == 3
 
 
+class TestTracestoreBench:
+    def test_report_and_gate(self, tmp_path, capsys):
+        import json
+
+        from repro.tools.run_bench import main
+
+        out = tmp_path / "BENCH_tracestore.json"
+        code = main(
+            [
+                "--trace-format",
+                "columnar",
+                "--trace-len",
+                "3000",
+                "--chunk-records",
+                "512",
+                "--equivalence-len",
+                "300",
+                "--repeats",
+                "1",
+                "--output",
+                str(out),
+            ]
+        )
+        assert code == 0
+        report = json.loads(out.read_text())
+        assert report["mode"] == "tracestore"
+        assert report["trace_len"] == 3000
+        assert report["columns_identical"] is True
+        assert report["writer_peak_buffered"] <= 512
+        assert report["load_speedup"] > 0
+        assert "load-speedup" in capsys.readouterr().out
+
+    def test_unreachable_load_gate_is_partial(self, tmp_path):
+        from repro.tools.run_bench import main
+
+        code = main(
+            [
+                "--trace-format",
+                "columnar",
+                "--trace-len",
+                "1000",
+                "--equivalence-len",
+                "0",
+                "--repeats",
+                "1",
+                "--min-load-speedup",
+                "1e9",
+                "--output",
+                str(tmp_path / "BENCH_tracestore.json"),
+            ]
+        )
+        assert code == 3
+
+
 def test_module_exports_are_arrays():
     trace = BatchTrace.from_records([load(0)])
     assert isinstance(trace.addr, np.ndarray)

@@ -69,6 +69,13 @@ class TestPopcountParity:
         assert parity(1) == 1
         assert parity(0b11) == 0
 
+    def test_negative_errors_name_the_right_function(self):
+        # parity() once raised popcount's copy-pasted message; pin both.
+        with pytest.raises(ConfigurationError, match="popcount requires"):
+            popcount(-1)
+        with pytest.raises(ConfigurationError, match="parity requires"):
+            parity(-1)
+
     @given(words, st.integers(min_value=0, max_value=63))
     def test_single_flip_changes_parity(self, x, k):
         assert parity(x) != parity(flip_bit(x, k))

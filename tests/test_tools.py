@@ -25,6 +25,25 @@ class TestGenTrace:
         with pytest.raises(SystemExit):
             gen_trace.main(["linpack"])
 
+    def test_columnar_format_round_trips(self, tmp_path):
+        from repro.workloads import ColumnarTraceReader, make_workload
+
+        out = tmp_path / "t.coltrace"
+        rc = gen_trace.main(
+            ["gzip", "-n", "80", "--seed", "5", "--format", "columnar",
+             "--chunk-records", "32", "-o", str(out)]
+        )
+        assert rc == 0
+        with ColumnarTraceReader(out) as reader:
+            assert reader.meta["benchmark"] == "gzip"
+            records = list(reader.records())
+        assert records == list(make_workload("gzip", seed=5).records(80))
+
+    def test_columnar_format_requires_output(self, capsys):
+        rc = gen_trace.main(["gzip", "-n", "10", "--format", "columnar"])
+        assert rc == 2
+        assert "--output" in capsys.readouterr().err
+
 
 class TestRunExperiment:
     def test_fig11_prints_table(self, capsys, tmp_path):

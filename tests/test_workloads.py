@@ -70,10 +70,24 @@ class TestTraceSerialization:
             TraceRecord(AccessType.LOAD, 0, 8, 3),
             TraceRecord(AccessType.STORE, 8, 8, 1, b"\x00" * 8),
         ]
-        stats = trace_stats(records)
+        stats, back = trace_stats(records)
         assert stats == {
             "loads": 1, "stores": 1, "references": 2, "instructions": 6,
         }
+        assert back is records  # sequences pass through untouched
+
+    def test_trace_stats_preserves_generator_traces(self):
+        # Statting a one-shot iterator used to silently consume it, so a
+        # caller who then replayed the "trace" replayed nothing.  The
+        # returned records must survive a second pass.
+        def gen():
+            yield TraceRecord(AccessType.LOAD, 0, 8, 3)
+            yield TraceRecord(AccessType.STORE, 8, 8, 1, b"\xab" * 8)
+
+        stats, records = trace_stats(gen())
+        assert stats["references"] == 2
+        assert len(list(records)) == 2
+        assert len(list(records)) == 2  # still re-iterable
 
 
 class TestProfileValidation:
