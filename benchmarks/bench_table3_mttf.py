@@ -9,6 +9,11 @@ variant driven by *this run's measured* Table 2 values.
 """
 
 from repro.harness import table2, table3
+from repro.reliability import (
+    analytical_collision_probability,
+    estimate_double_fault_failure_fast,
+)
+from repro.tools.run_experiment import table3mc_text
 
 from conftest import publish
 
@@ -50,3 +55,41 @@ def test_table3_mttf(benchmark, bench_runs):
         secded = result.mttf_years["secded"][level]
         assert parity < cppc < secded
         assert cppc / parity > 1e10
+
+
+def test_table3_collision_montecarlo(benchmark):
+    """Empirical backing for Table 3's structural 1/(p*w) claim.
+
+    The analytic MTTF model assumes a double fault defeats CPPC exactly
+    when both upsets share a protection domain; the vectorized engine
+    measures that probability at field-study sample counts.  The
+    per-geometry failure rate must sit within an absolute 0.01 of the
+    analytic collision probability (deterministic seeds keep this
+    stable), and the Wilson interval must cover or nearly touch it.
+    """
+    samples = 100_000
+
+    def measure():
+        return {
+            pairs: estimate_double_fault_failure_fast(
+                samples=samples, num_pairs=pairs, seed=0
+            )
+            for pairs in (1, 2, 4, 8)
+        }
+
+    estimates = benchmark(measure)
+    publish("table3_collision_mc", table3mc_text(samples=samples, seed=0))
+
+    for pairs, estimate in estimates.items():
+        analytic = analytical_collision_probability(8, pairs)
+        benchmark.extra_info[f"rate_p{pairs}"] = estimate.failure_rate
+        assert abs(estimate.failure_rate - analytic) < 0.01, (
+            f"pairs={pairs}: measured {estimate.failure_rate:.4f} vs "
+            f"analytic {analytic:.4f}"
+        )
+        ci_low, ci_high = estimate.failure_rate_ci()
+        assert ci_low <= analytic + 0.01 and ci_high >= analytic - 0.01
+    # More pairs -> strictly lower measured failure rate, as the model
+    # demands at these sample counts.
+    rates = [estimates[p].failure_rate for p in (1, 2, 4, 8)]
+    assert rates == sorted(rates, reverse=True)

@@ -48,7 +48,7 @@ from ..faults.warmstate import clear_warm_cache
 from ..memsim.cache import Cache
 from ..memsim.mainmem import MainMemory
 from ..obs.trail import reconstruct_corrections, verify_audit
-from ..reliability import montecarlo
+from ..reliability import fastmc, montecarlo
 from ..runtime import CampaignRuntime, ChaosPlan, RetryPolicy
 from ..workloads.replay import FastReplay, GoldenMemory, TraceReplayer
 from .scenario import FaultOp, Scenario
@@ -57,8 +57,15 @@ from .scenario import FaultOp, Scenario
 #: allows before calling a measurement inconsistent with the analytic
 #: claim (plus a small absolute slack for the locator's rescue of
 #: spatially-adjacent collisions, which the algebra counts as failures).
-DOUBLEFAULT_Z = 4.5
-DOUBLEFAULT_SLACK = 0.02
+#: The vectorized engine runs ``DOUBLEFAULT_SAMPLE_SCALE`` times the
+#: scenario's sample budget, so the bands are far tighter than the old
+#: scalar loop's 4.5-sigma + 0.02 slack could afford.
+DOUBLEFAULT_Z = 4.0
+DOUBLEFAULT_SLACK = 0.005
+DOUBLEFAULT_SAMPLE_SCALE = 100
+#: Fault pairs replayed through live ``Cache`` recovery per scenario to
+#: assert per-sample identity with the vector kernel.
+DOUBLEFAULT_EQUIVALENCE_SUBSET = 16
 
 
 @dataclasses.dataclass(frozen=True)
@@ -351,14 +358,21 @@ def check_chaos(scenario: Scenario) -> List[str]:
 def check_doublefault(scenario: Scenario) -> List[str]:
     """Binomial consistency of measurement and analytical model.
 
-    The measurement systematically lands at or *below* the analytic
-    probability (the spatial locator rescues some collisions the
-    algebra conservatively counts as failures), so the band is
-    asymmetric: generous above, and only ``analytic / 4`` minus the
-    confidence margin below.
+    The measurement comes from the vectorized engine
+    (:mod:`repro.reliability.fastmc`) at ``DOUBLEFAULT_SAMPLE_SCALE``
+    times the scenario's scalar sample budget, which tightens the
+    confidence band by an order of magnitude; a small randomized subset
+    of the sampled fault pairs is additionally replayed through the live
+    ``Cache``/``CppcProtection`` machinery, so the oracle cross-checks
+    the kernel itself, not only its aggregate.  The measurement
+    systematically lands near or *below* the analytic probability (the
+    spatial locator rescues some collisions the algebra conservatively
+    counts as failures), so the band is asymmetric: a sigma-scaled bound
+    above, and only ``analytic / 4`` minus the confidence margin below.
     """
-    estimate = montecarlo.estimate_double_fault_failure(
-        samples=scenario.samples,
+    samples = scenario.samples * DOUBLEFAULT_SAMPLE_SCALE
+    estimate = fastmc.estimate_double_fault_failure_fast(
+        samples=samples,
         parity_ways=scenario.parity_ways,
         num_pairs=scenario.num_pairs,
         seed=scenario.seed,
@@ -367,24 +381,36 @@ def check_doublefault(scenario: Scenario) -> List[str]:
     analytic = montecarlo.analytical_collision_probability(
         scenario.parity_ways, scenario.num_pairs
     )
-    sigma = math.sqrt(analytic * (1.0 - analytic) / scenario.samples)
+    sigma = math.sqrt(analytic * (1.0 - analytic) / samples)
     upper = analytic + DOUBLEFAULT_Z * sigma + DOUBLEFAULT_SLACK
     lower = analytic / 4.0 - DOUBLEFAULT_Z * sigma - DOUBLEFAULT_SLACK
+    ci_low, ci_high = estimate.failure_rate_ci()
     problems: List[str] = []
     if estimate.failure_rate > upper:
         problems.append(
-            f"measured failure rate {estimate.failure_rate:.4f} exceeds "
+            f"measured failure rate {estimate.failure_rate:.4f} "
+            f"(95% CI [{ci_low:.4f}, {ci_high:.4f}]) exceeds "
             f"the analytic claim 1/(p*w)={analytic:.4f} "
-            f"(+{DOUBLEFAULT_Z}-sigma bound {upper:.4f}; "
-            f"n={scenario.samples})"
+            f"(+{DOUBLEFAULT_Z}-sigma bound {upper:.4f}; n={samples})"
         )
     if lower > 0 and estimate.failure_rate < lower:
         problems.append(
-            f"measured failure rate {estimate.failure_rate:.4f} is "
+            f"measured failure rate {estimate.failure_rate:.4f} "
+            f"(95% CI [{ci_low:.4f}, {ci_high:.4f}]) is "
             f"implausibly far below the analytic claim "
-            f"1/(p*w)={analytic:.4f} (floor {lower:.4f}; "
-            f"n={scenario.samples})"
+            f"1/(p*w)={analytic:.4f} (floor {lower:.4f}; n={samples})"
         )
+    try:
+        fastmc.cross_check_live(
+            samples=min(samples, 512),
+            subset=DOUBLEFAULT_EQUIVALENCE_SUBSET,
+            parity_ways=scenario.parity_ways,
+            num_pairs=scenario.num_pairs,
+            seed=scenario.seed,
+            cache_bytes=scenario.size_bytes,
+        )
+    except EquivalenceError as exc:
+        problems.extend(exc.mismatches or [str(exc)])
     return problems
 
 

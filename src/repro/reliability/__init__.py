@@ -2,6 +2,15 @@
 
 from .aliasing import aliasing_vulnerable_bits, mttf_aliasing_years
 from .avf import PAPER_AVF, measured_avf
+from .fastmc import (
+    CacheImage,
+    FaultPairBatch,
+    build_cache_image,
+    classify_batch,
+    cross_check_live,
+    estimate_double_fault_failure_fast,
+    sample_fault_pairs,
+)
 from .montecarlo import (
     DoubleFaultEstimate,
     analytical_collision_probability,
@@ -29,6 +38,13 @@ __all__ = [
     "DoubleFaultEstimate",
     "analytical_collision_probability",
     "estimate_double_fault_failure",
+    "CacheImage",
+    "FaultPairBatch",
+    "build_cache_image",
+    "classify_batch",
+    "cross_check_live",
+    "estimate_double_fault_failure_fast",
+    "sample_fault_pairs",
     "mttf_cppc_from_histogram",
     "tail_amplification",
 ]

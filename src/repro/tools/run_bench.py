@@ -25,6 +25,17 @@ trace cache, writing ``BENCH_tracestore.json``::
     python -m repro.tools.run_bench --trace-format columnar \\
         --trace-len 200000 --min-load-speedup 5
 
+``--reliability`` benchmarks the vectorized Monte-Carlo double-fault
+engine (:mod:`repro.reliability.fastmc`) against the scalar reference
+loop: it first replays a randomized subset of sampled fault pairs
+through the live ``Cache``/``CppcProtection`` machinery asserting
+per-sample outcome identity, asserts the shard merge is bit-independent
+of the shard count, then times both paths and writes
+``BENCH_reliability.json``::
+
+    python -m repro.tools.run_bench --reliability \\
+        --mc-samples 200000 --min-mc-speedup 50
+
 ``--min-speedup`` / ``--min-campaign-speedup`` turn the run into a
 gate: the exit status is ``EXIT_PARTIAL`` (results exist but a claim
 failed) when the measured speedup falls below the floor, which is how
@@ -88,6 +99,7 @@ BASELINE_METRICS = {
     "replay": (("speedup", "min"), ("obs_overhead_ratio", "max")),
     "campaign": (("speedup", "min"),),
     "tracestore": (("load_speedup", "min"),),
+    "reliability": (("mc_speedup", "min"),),
 }
 
 
@@ -218,6 +230,73 @@ def build_parser() -> argparse.ArgumentParser:
         default=0.0,
         help="fail (exit 1) when the fast/legacy campaign speedup is "
         "below this (default: no gate)",
+    )
+    reliability = parser.add_argument_group(
+        "reliability mode",
+        "benchmark the vectorized Monte-Carlo double-fault engine "
+        "against the scalar reference loop (per-sample live equivalence "
+        "and shard-merge determinism asserted first)",
+    )
+    reliability.add_argument(
+        "--reliability",
+        action="store_true",
+        help="time the double-fault Monte-Carlo engine instead of trace "
+        "replay",
+    )
+    reliability.add_argument(
+        "--mc-samples",
+        type=int,
+        default=200_000,
+        help="fault-pair samples per timed vectorized run "
+        "(default: %(default)s)",
+    )
+    reliability.add_argument(
+        "--scalar-mc-samples",
+        type=int,
+        default=64,
+        help="samples per timed scalar-reference run; both timings are "
+        "normalized to samples/sec before the ratio (default: %(default)s)",
+    )
+    reliability.add_argument(
+        "--mc-shards",
+        type=int,
+        default=1,
+        help="sample shards for the timed vectorized run; the merged "
+        "estimate is bit-independent of this (default: %(default)s)",
+    )
+    reliability.add_argument(
+        "--mc-pairs",
+        type=int,
+        default=1,
+        help="register pairs of the benched geometry (default: %(default)s)",
+    )
+    reliability.add_argument(
+        "--mc-parity-ways",
+        type=int,
+        default=8,
+        help="parity interleave ways of the benched geometry "
+        "(default: %(default)s)",
+    )
+    reliability.add_argument(
+        "--mc-cache-bytes",
+        type=int,
+        default=8192,
+        help="dirty-cache capacity of the benched geometry "
+        "(default: %(default)s)",
+    )
+    reliability.add_argument(
+        "--equivalence-subset",
+        type=int,
+        default=48,
+        help="sampled fault pairs replayed through live Cache recovery "
+        "and compared per sample; 0 skips the check (default: %(default)s)",
+    )
+    reliability.add_argument(
+        "--min-mc-speedup",
+        type=float,
+        default=0.0,
+        help="fail (exit 1) when the vectorized/scalar samples-per-sec "
+        "ratio is below this (default: no gate)",
     )
     baseline = parser.add_argument_group(
         "baseline tracking",
@@ -651,6 +730,181 @@ def run_campaign_bench(
     return report
 
 
+def run_reliability_bench(
+    *,
+    mc_samples: int = 200_000,
+    scalar_samples: int = 64,
+    shards: int = 1,
+    num_pairs: int = 1,
+    parity_ways: int = 8,
+    cache_bytes: int = 8192,
+    equivalence_subset: int = 48,
+    repeats: int = 3,
+    seed: int = 0,
+    registry=None,
+) -> dict:
+    """Time the vectorized vs. scalar double-fault engine; return report.
+
+    Correctness first, following the other fast-path benches:
+
+    * **live equivalence** — a randomized ``equivalence_subset`` of the
+      kernel's sampled fault pairs is replayed through full
+      ``Cache``/``CppcProtection`` recovery and compared *per sample*
+      (the subset deliberately front-loads the rare DUE/miscorrection
+      verdicts), for the benched geometry and a second multi-pair one;
+    * **shard-merge determinism** — the same seed estimated through one
+      shard and through several must produce the identical outcome
+      histogram, bit for bit.
+
+    Both paths are then timed (best of ``repeats``) on their own sample
+    budgets and normalized to samples/sec before the ``mc_speedup``
+    ratio; the collision probability is capacity- and value-independent,
+    so the two budgets measure the same estimator at different scales.
+    """
+    from ..reliability import fastmc, montecarlo
+
+    if mc_samples < 1 or scalar_samples < 1:
+        raise ValueError("sample budgets must be positive")
+
+    equivalence = []
+    if equivalence_subset:
+        geometries = [(num_pairs, parity_ways)]
+        if (4, parity_ways) not in geometries:
+            geometries.append((4, parity_ways))
+        for pairs, ways in geometries:
+            summary = fastmc.cross_check_live(
+                samples=512,
+                subset=equivalence_subset,
+                parity_ways=ways,
+                num_pairs=pairs,
+                seed=seed,
+                cache_bytes=min(cache_bytes, 1024),
+            )
+            equivalence.append(summary)
+
+    probe = max(1, min(mc_samples, 20_000))
+    single = fastmc.estimate_double_fault_failure_fast(
+        samples=probe,
+        parity_ways=parity_ways,
+        num_pairs=num_pairs,
+        seed=seed,
+        cache_bytes=cache_bytes,
+        shards=1,
+    )
+    sharded = fastmc.estimate_double_fault_failure_fast(
+        samples=probe,
+        parity_ways=parity_ways,
+        num_pairs=num_pairs,
+        seed=seed,
+        cache_bytes=cache_bytes,
+        shards=max(4, shards),
+    )
+    if vars(single) != vars(sharded):
+        raise EquivalenceError(
+            f"shard merge is not deterministic: 1 shard {vars(single)!r} "
+            f"vs {max(4, shards)} shards {vars(sharded)!r}",
+            mismatches=[f"{vars(single)!r} != {vars(sharded)!r}"],
+        )
+
+    estimate_holder = {}
+
+    def vector_once():
+        estimate_holder["value"] = fastmc.estimate_double_fault_failure_fast(
+            samples=mc_samples,
+            parity_ways=parity_ways,
+            num_pairs=num_pairs,
+            seed=seed,
+            cache_bytes=cache_bytes,
+            shards=shards,
+        )
+
+    vector_once()  # warm NumPy / image construction
+    vector_s = _time_best(vector_once, repeats)
+    scalar_s = _time_best(
+        lambda: montecarlo.estimate_double_fault_failure(
+            samples=scalar_samples,
+            parity_ways=parity_ways,
+            num_pairs=num_pairs,
+            seed=seed,
+            cache_bytes=cache_bytes,
+        ),
+        repeats,
+    )
+
+    estimate = estimate_holder["value"]
+    ci_low, ci_high = estimate.failure_rate_ci()
+    vector_sps = mc_samples / vector_s
+    scalar_sps = scalar_samples / scalar_s
+    report = {
+        "mode": "reliability",
+        "mc_samples": mc_samples,
+        "scalar_samples": scalar_samples,
+        "shards": shards,
+        "num_pairs": num_pairs,
+        "parity_ways": parity_ways,
+        "cache_bytes": cache_bytes,
+        "seed": seed,
+        "repeats": repeats,
+        "vector_seconds": vector_s,
+        "scalar_seconds": scalar_s,
+        "vector_samples_per_sec": vector_sps,
+        "scalar_samples_per_sec": scalar_sps,
+        "mc_speedup": vector_sps / scalar_sps,
+        "failure_rate": estimate.failure_rate,
+        "failure_rate_ci95": [ci_low, ci_high],
+        "sdc_rate": estimate.sdc_rate,
+        "analytic": montecarlo.analytical_collision_probability(parity_ways, num_pairs),
+        "corrected": estimate.corrected,
+        "due": estimate.due,
+        "miscorrected": estimate.miscorrected,
+        "shard_merge_deterministic": True,
+        "equivalence": equivalence,
+    }
+    if registry is not None:
+        registry.gauge("bench.mc_speedup").set(report["mc_speedup"])
+        registry.gauge("bench.mc_samples_per_sec").set(vector_sps)
+    return report
+
+
+def _reliability_main(args, registry) -> int:
+    try:
+        report = run_reliability_bench(
+            mc_samples=args.mc_samples,
+            scalar_samples=args.scalar_mc_samples,
+            shards=args.mc_shards,
+            num_pairs=args.mc_pairs,
+            parity_ways=args.mc_parity_ways,
+            cache_bytes=args.mc_cache_bytes,
+            equivalence_subset=args.equivalence_subset,
+            repeats=args.repeats,
+            seed=args.seed,
+            registry=registry,
+        )
+    except EquivalenceError as exc:
+        return fail(f"equivalence check FAILED:\n{exc}")
+    _apply_baseline(report, "reliability", args)
+    output = args.output or pathlib.Path("BENCH_reliability.json")
+    output.write_text(json.dumps(report, indent=2) + "\n")
+    emit_metrics(args.emit_metrics, registry)
+    print(
+        "double-fault p={num_pairs} w={parity_ways}: "
+        "scalar {scalar_samples_per_sec:.0f} samples/s  "
+        "vector {vector_samples_per_sec:.0f} samples/s  "
+        "speedup {mc_speedup:.0f}x  "
+        "rate {failure_rate:.4f} (analytic {analytic:.4f})".format(**report)
+    )
+    print(f"wrote {output}")
+    gate_failed = False
+    if args.min_mc_speedup and report["mc_speedup"] < args.min_mc_speedup:
+        print(
+            f"Monte-Carlo speedup {report['mc_speedup']:.1f}x is below "
+            f"the required {args.min_mc_speedup:.1f}x",
+            file=sys.stderr,
+        )
+        gate_failed = True
+    return resolve_exit(partial=gate_failed)
+
+
 def _campaign_main(args, registry) -> int:
     try:
         report = run_campaign_bench(
@@ -735,6 +989,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     registry = metrics_registry(args.emit_metrics)
     if args.campaign:
         return _campaign_main(args, registry)
+    if args.reliability:
+        return _reliability_main(args, registry)
     if args.trace_format == "columnar":
         return _tracestore_main(args, registry)
     try:

@@ -30,6 +30,7 @@ from ..crosscheck import (
     DEFAULT_KIND_WEIGHTS,
     SCENARIO_KINDS,
     fuzz,
+    oracles,
     resolve_mutations,
     run_mutation_self_test,
 )
@@ -98,6 +99,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="self-test mode: plant each seeded bug and require the "
         "fuzzer to detect it within budget",
     )
+    parser.add_argument(
+        "--mc-sample-scale",
+        type=int,
+        default=None,
+        metavar="N",
+        help="multiply each doublefault scenario's sample budget by N "
+        "for the vectorized Monte-Carlo oracle (default: "
+        f"{oracles.DOUBLEFAULT_SAMPLE_SCALE}); nightly runs pass a "
+        "larger scale for tighter statistical bands",
+    )
     add_json_argument(parser)
     add_obs_arguments(parser)
     return parser
@@ -141,6 +152,7 @@ def _mutate_main(args, sink, registry) -> int:
             "mode": "mutate",
             "seed": args.seed,
             "time_budget": args.time_budget,
+            "mc_sample_scale": oracles.DOUBLEFAULT_SAMPLE_SCALE,
             "mutations": [o.snapshot() for o in outcomes],
             "missed": [o.mutation for o in missed],
         },
@@ -183,7 +195,9 @@ def _fuzz_main(args, sink, registry) -> int:
             print(f"  {detail}", file=sys.stderr)
     if report.clean:
         print("no divergences")
-    emit_json(args.json, report.snapshot())
+    payload = report.snapshot()
+    payload["mc_sample_scale"] = oracles.DOUBLEFAULT_SAMPLE_SCALE
+    emit_json(args.json, payload)
     return resolve_exit(partial=not report.clean)
 
 
@@ -192,6 +206,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = parser.parse_args(argv)
     if args.time_budget <= 0:
         parser.error("--time-budget must be positive")
+    if args.mc_sample_scale is not None:
+        if args.mc_sample_scale < 1:
+            parser.error("--mc-sample-scale must be >= 1")
+        # The doublefault oracle reads the module attribute per scenario,
+        # so a larger nightly budget needs no plumbing beyond this.
+        oracles.DOUBLEFAULT_SAMPLE_SCALE = args.mc_sample_scale
     registry = metrics_registry(args.emit_metrics)
     try:
         with open_sink(args.trace_out) as sink:

@@ -2,11 +2,47 @@
 
 import pytest
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, UncorrectableError
 from repro.reliability import (
+    DoubleFaultEstimate,
     analytical_collision_probability,
     estimate_double_fault_failure,
 )
+from repro.reliability.montecarlo import _build_dirty_cache
+from repro.util import make_rng
+
+
+def _legacy_rebuild_per_sample(
+    *, samples, parity_ways=8, num_pairs=1, seed=0, cache_bytes=8192
+):
+    """Inline copy of the pre-snapshot loop: a fresh dirty cache is
+    rebuilt with a per-sample seed before every injection.  The forked
+    implementation must reproduce its outcome counts bit-for-bit."""
+    estimate = DoubleFaultEstimate(samples=samples)
+    rng = make_rng((seed, "double-fault"))
+    for sample in range(samples):
+        cache = _build_dirty_cache(
+            num_pairs, parity_ways, (seed, sample), cache_bytes
+        )
+        golden = {loc: value for loc, value, _d in cache.iter_units()}
+        locations = list(golden)
+        loc_a, loc_b = rng.sample(locations, 2)
+        cache.corrupt_data(loc_a, 1 << rng.randrange(64))
+        cache.corrupt_data(loc_b, 1 << rng.randrange(64))
+        try:
+            cache.load(cache.address_of(loc_a), 8)
+            cache.load(cache.address_of(loc_b), 8)
+        except UncorrectableError:
+            estimate.due += 1
+            continue
+        clean = all(
+            cache.peek_unit(loc)[0] == value for loc, value in golden.items()
+        )
+        if clean:
+            estimate.corrected += 1
+        else:
+            estimate.miscorrected += 1
+    return estimate
 
 
 class TestAnalyticalProbability:
@@ -56,3 +92,60 @@ class TestEstimate:
         est = estimate_double_fault_failure(samples=250, num_pairs=1, seed=4)
         assert est.sdc_rate <= est.failure_rate
         assert est.sdc_rate < 0.05
+
+    @pytest.mark.parametrize(
+        "num_pairs,parity_ways", [(1, 8), (4, 8)]
+    )
+    def test_forked_path_bit_identical_to_rebuild_loop(
+        self, num_pairs, parity_ways
+    ):
+        """The snapshot-fork scalar path pins the rebuild-per-sample
+        loop's exact outcome counts: outcomes depend only on the fault
+        geometry, never on the (different) random cache contents."""
+        forked = estimate_double_fault_failure(
+            samples=30, num_pairs=num_pairs, parity_ways=parity_ways,
+            seed=13, cache_bytes=1024,
+        )
+        legacy = _legacy_rebuild_per_sample(
+            samples=30, num_pairs=num_pairs, parity_ways=parity_ways,
+            seed=13, cache_bytes=1024,
+        )
+        assert (forked.corrected, forked.due, forked.miscorrected) == (
+            legacy.corrected, legacy.due, legacy.miscorrected,
+        )
+
+
+class TestWilsonInterval:
+    def test_known_value(self):
+        # 10 failures in 100 samples at 95%: the textbook Wilson interval
+        # is approximately [0.0552, 0.1744].
+        est = DoubleFaultEstimate(samples=100, due=10, corrected=90)
+        low, high = est.failure_rate_ci()
+        assert low == pytest.approx(0.0552, abs=2e-3)
+        assert high == pytest.approx(0.1744, abs=2e-3)
+
+    def test_bounds_stay_in_unit_interval(self):
+        zero = DoubleFaultEstimate(samples=50, corrected=50)
+        low, high = zero.failure_rate_ci()
+        assert low == 0.0 and 0.0 < high < 1.0
+        full = DoubleFaultEstimate(samples=50, due=50)
+        low, high = full.failure_rate_ci()
+        assert 0.0 < low < 1.0 and high == 1.0
+
+    def test_higher_level_widens(self):
+        est = DoubleFaultEstimate(samples=200, due=25, corrected=175)
+        low95, high95 = est.failure_rate_ci(0.95)
+        low99, high99 = est.failure_rate_ci(0.99)
+        assert low99 < low95 < high95 < high99
+
+    def test_covers_the_point_estimate(self):
+        est = DoubleFaultEstimate(samples=77, due=5, corrected=72)
+        low, high = est.failure_rate_ci()
+        assert low <= est.failure_rate <= high
+
+    def test_bad_level_raises(self):
+        est = DoubleFaultEstimate(samples=10, corrected=10)
+        with pytest.raises(ConfigurationError):
+            est.failure_rate_ci(0.0)
+        with pytest.raises(ConfigurationError):
+            est.failure_rate_ci(1.0)

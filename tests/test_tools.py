@@ -71,6 +71,7 @@ class TestRunExperiment:
         names = {p.name for p in tmp_path.iterdir()}
         assert names == {
             "fig10.txt", "fig11.txt", "fig12.txt", "table2.txt", "table3.txt",
+            "table3mc.txt",
         }
 
 
