@@ -104,6 +104,20 @@ def _audit_zero_residue() -> List[Patch]:
     return [(protection, "audit_payload", zeroed)]
 
 
+def _fast_timing_shadow_leak() -> List[Patch]:
+    """Fast backlog resolver drops the miss-shadow drain (scalar keeps it)."""
+    from ..timing import fast
+
+    original = fast._resolve_backlog
+
+    def no_shadow(cap, drain, supply, store_demand, miss_demand, miss, shadow):
+        return original(
+            cap, drain, supply, store_demand, miss_demand, miss, shadow * 0.0
+        )
+
+    return [(fast, "_resolve_backlog", no_shadow)]
+
+
 def _analytic_inflate() -> List[Patch]:
     """The analytical collision model overstates 1/(p*w) eightfold."""
     from ..reliability import montecarlo
@@ -154,6 +168,12 @@ MUTATIONS: Dict[str, Mutation] = {
             "analytical_collision_probability returns 8x the truth",
             ("doublefault",),
             _analytic_inflate,
+        ),
+        Mutation(
+            "fast-timing-shadow-leak",
+            "fast backlog resolver ignores the miss-shadow drain",
+            ("timing",),
+            _fast_timing_shadow_leak,
         ),
     )
 }

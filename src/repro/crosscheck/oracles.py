@@ -2,8 +2,8 @@
 
 Each oracle takes a :class:`~repro.crosscheck.scenario.Scenario`, drives
 every applicable implementation of the same truth, and returns a list of
-human-readable mismatch strings (empty = agreement).  The four oracles
-mirror the repo's four redundant computations:
+human-readable mismatch strings (empty = agreement).  The oracles
+mirror the repo's redundant computations:
 
 * :func:`check_replay` — scalar :class:`~repro.memsim.cache.Cache` vs.
   the NumPy :class:`~repro.memsim.batch.BatchReplayEngine`, word for
@@ -26,6 +26,10 @@ mirror the repo's four redundant computations:
   and through the crash-safe runtime under a survivable
   :class:`~repro.runtime.ChaosPlan` (worker kills, delays, checkpoint
   I/O errors): absorbed faults must be bit-invisible in the result.
+* :func:`check_timing` — the scalar Figure-10 timing pipeline
+  (``collect_events`` + ``time_events`` per scheme) vs. the columnar
+  fast path (:mod:`repro.timing.fast`): events, L1/L2 statistics and
+  every scheme's :class:`~repro.timing.model.TimingResult` bit for bit.
 
 :func:`run_scenario` routes a scenario to its oracle and wraps any
 mismatch in a :class:`Divergence`.
@@ -414,6 +418,73 @@ def check_doublefault(scenario: Scenario) -> List[str]:
     return problems
 
 
+# ----------------------------------------------------------------------
+# timing: scalar Figure-10 pipeline vs. columnar fast path
+# ----------------------------------------------------------------------
+def check_timing(scenario: Scenario) -> List[str]:
+    """Bit identity of the scalar and vectorized timing pipelines.
+
+    One shared simulation produces the event stream; every scheme's
+    pricing must then agree field for field.  The L2 is scaled 8x over
+    the scenario's L1 with matching block size — the only L2 shape the
+    scalar hierarchy accepts (its unit must equal the L1 block).
+    """
+    from ..memsim import CacheGeometry, HierarchyConfig, MemoryHierarchy
+    from ..timing import (
+        TIMING_POLICIES,
+        TimingConfig,
+        collect_events,
+        time_events,
+        time_events_fast,
+    )
+    from ..timing.fast import EventColumns, collect_run_fast
+
+    config = HierarchyConfig(
+        l1d=CacheGeometry(
+            scenario.size_bytes,
+            scenario.ways,
+            scenario.block_bytes,
+            unit_bytes=8,
+            latency_cycles=2,
+        ),
+        l2=CacheGeometry(
+            scenario.size_bytes * 8,
+            4,
+            scenario.block_bytes,
+            unit_bytes=scenario.block_bytes,
+            latency_cycles=8,
+        ),
+    )
+    run = collect_run_fast(scenario.records, config, equivalence="never")
+    hierarchy = MemoryHierarchy(config)
+    events = collect_events(scenario.records, hierarchy)
+    problems = run.events.mismatches(EventColumns.from_events(events))
+    if hierarchy.l1d.stats != run.l1:
+        problems.append("L1 statistics diverged from the scalar collector")
+    if hierarchy.l2.stats != run.l2:
+        problems.append("L2 statistics diverged from the scalar collector")
+    timing_config = TimingConfig(
+        issue_width=scenario.issue_width,
+        store_buffer_capacity=scenario.store_buffer,
+    )
+    for scheme, factory in TIMING_POLICIES.items():
+        scalar_result = time_events(
+            events,
+            factory(),
+            timing_config,
+            units_per_block=hierarchy.l1d.units_per_block,
+        )
+        fast_result = time_events_fast(
+            run.events,
+            factory(),
+            timing_config,
+            units_per_block=run.units_per_block,
+        )
+        if scalar_result != fast_result:
+            problems.append(f"{scheme}: {scalar_result!r} != {fast_result!r}")
+    return problems
+
+
 #: Oracle registry: scenario kind -> (oracle name, checker).
 ORACLES: Dict[str, Callable[[Scenario], List[str]]] = {
     "replay": check_replay,
@@ -421,6 +492,7 @@ ORACLES: Dict[str, Callable[[Scenario], List[str]]] = {
     "campaign": check_campaign,
     "doublefault": check_doublefault,
     "chaos": check_chaos,
+    "timing": check_timing,
 }
 
 

@@ -7,7 +7,7 @@ recipe) and perturb it (a fault plan).  Scenarios serialize to plain
 JSON, so a shrunk failure becomes a reproducer file under
 ``tests/corpus/`` that replays anywhere without the generator.
 
-Five scenario kinds, one per differential oracle
+Six scenario kinds, one per differential oracle
 (:mod:`repro.crosscheck.oracles`):
 
 * ``replay`` — a trace replayed through the scalar :class:`Cache` and
@@ -22,6 +22,10 @@ Five scenario kinds, one per differential oracle
 * ``chaos`` — one campaign run chaos-free in process and again through
   the crash-safe runtime under a survivable
   :class:`~repro.runtime.ChaosPlan`; recovery must be bit-invisible.
+* ``timing`` — the scalar Figure-10 pipeline (``collect_events`` +
+  ``time_events`` per scheme) against the columnar fast path
+  (:mod:`repro.timing.fast`); events, cache statistics and every
+  scheme's :class:`TimingResult` must match bit for bit.
 
 :class:`ScenarioGenerator` samples scenarios from a weighted grammar,
 deterministically per ``(seed, index)``: regenerating scenario ``i`` of
@@ -45,20 +49,28 @@ from ..workloads.trace import TraceRecord
 #: Serialization format version stamped into every scenario/reproducer.
 FORMAT_VERSION = 1
 
-SCENARIO_KINDS = ("replay", "recovery", "campaign", "doublefault", "chaos")
+SCENARIO_KINDS = (
+    "replay",
+    "recovery",
+    "campaign",
+    "doublefault",
+    "chaos",
+    "timing",
+)
 
-#: Default sampling weight of each scenario kind.  Replay and recovery
-#: scenarios are cheap (hundreds of scalar accesses) and carry most of
-#: the word-for-word coverage; campaign and double-fault scenarios cost
-#: more per case, so they run less often but still every few seconds.
-#: Chaos scenarios spawn worker subprocesses and deliberately kill
-#: them, so they are the rarest (and smallest) kind.
+#: Default sampling weight of each scenario kind.  Replay, recovery and
+#: timing scenarios are cheap (hundreds of scalar accesses) and carry
+#: most of the word-for-word coverage; campaign and double-fault
+#: scenarios cost more per case, so they run less often but still every
+#: few seconds.  Chaos scenarios spawn worker subprocesses and
+#: deliberately kill them, so they are the rarest (and smallest) kind.
 DEFAULT_KIND_WEIGHTS: Dict[str, float] = {
-    "replay": 0.37,
-    "recovery": 0.29,
-    "campaign": 0.19,
-    "doublefault": 0.10,
+    "replay": 0.33,
+    "recovery": 0.27,
+    "campaign": 0.18,
+    "doublefault": 0.09,
     "chaos": 0.05,
+    "timing": 0.08,
 }
 
 #: Benchmarks with small working sets — fuzz traces are only a few
@@ -144,6 +156,9 @@ class Scenario:
     # --- chaos recipe -------------------------------------------------
     chaos_rate: float = 0.5
     chaos_kinds: tuple = ("kill", "delay")
+    # --- timing recipe ------------------------------------------------
+    issue_width: int = 4
+    store_buffer: int = 2
 
     def __post_init__(self):
         if self.kind not in SCENARIO_KINDS:
@@ -358,6 +373,19 @@ class ScenarioGenerator:
             target_level="L1D",
             chaos_rate=rng.choice((0.5, 1.0)),
             chaos_kinds=kinds,
+        )
+
+    def _gen_timing(self, rng, index: int) -> Scenario:
+        # The timing collector rides on the batch engine (64-bit L1
+        # units, LRU); the grammar varies geometry, trace and the core
+        # parameters the backlog recurrence is most sensitive to.
+        return Scenario(
+            kind="timing",
+            seed=index,
+            records=self._trace(rng, rng.randrange(120, 360)),
+            issue_width=rng.choice((1, 2, 3, 4, 4, 7)),
+            store_buffer=rng.choice((1, 2, 2, 3, 8)),
+            **self._geometry(rng),
         )
 
     def _gen_doublefault(self, rng, index: int) -> Scenario:

@@ -46,13 +46,18 @@ DEFAULT_REFERENCES = 200_000
 
 @dataclasses.dataclass
 class BenchmarkRun:
-    """One benchmark's shared simulation products."""
+    """One benchmark's shared simulation products.
+
+    ``events`` is a plain ``AccessEvent`` list from the scalar collector
+    or an :class:`~repro.timing.fast.EventColumns` from the batch fast
+    path; both iterate as the same event tuples.
+    """
 
     name: str
     references: int
     l1: CacheStats
     l2: CacheStats
-    events: List[AccessEvent]
+    events: Sequence[AccessEvent]
     units_per_block: int
 
 
@@ -62,17 +67,38 @@ def run_benchmark(
     seed: int = 0,
     config: HierarchyConfig = PAPER_CONFIG,
     warmup_fraction: float = 0.25,
+    fast: bool = False,
 ) -> BenchmarkRun:
     """Replay one benchmark once and capture everything the models need.
 
     The first ``warmup_fraction`` of the trace fills the caches and is
     excluded from the counters (the role SimPoint fast-forwarding plays in
     the paper's setup); the timing events cover only the measured window.
+
+    With ``fast=True`` the replay runs on the vectorized batch engine
+    (:func:`repro.timing.fast.collect_run_fast`), producing bit-identical
+    statistics and an :class:`~repro.timing.fast.EventColumns` event
+    stream that every scalar consumer still accepts.
     """
-    hierarchy = MemoryHierarchy(config)
     workload = make_workload(name, seed=seed)
     warmup = int(n_references * warmup_fraction)
-    records = workload.records(n_references + warmup)
+    # ``records(...)`` is documented as a generator, but guard against a
+    # workload handing back a sequence: without ``iter`` the warmup
+    # prefix would be replayed a second time into the measured window.
+    records = iter(workload.records(n_references + warmup))
+    if fast:
+        from ..timing.fast import collect_run_fast
+
+        run = collect_run_fast(records, config, warmup=warmup)
+        return BenchmarkRun(
+            name=name,
+            references=n_references,
+            l1=run.l1,
+            l2=run.l2,
+            events=run.events,
+            units_per_block=run.units_per_block,
+        )
+    hierarchy = MemoryHierarchy(config)
     if warmup:
         collect_events(itertools.islice(records, warmup), hierarchy)
         hierarchy.l1d.reset_stats()
@@ -94,19 +120,21 @@ def run_all_benchmarks(
     benchmarks: Optional[Sequence[str]] = None,
     config: HierarchyConfig = PAPER_CONFIG,
     obs=None,
+    fast: bool = False,
 ) -> List[BenchmarkRun]:
     """Shared simulations for every benchmark in evaluation order.
 
     ``obs`` (a :class:`repro.obs.TraceSink`) gets one span per benchmark
     simulation — coarse progress marks, not per-access events, so the
-    trace stays small at full experiment scale.
+    trace stays small at full experiment scale.  ``fast`` selects the
+    batch-engine replay for every benchmark (see :func:`run_benchmark`).
     """
     names = list(benchmarks) if benchmarks is not None else benchmark_names()
     live = obs is not None and obs.enabled
     runs = []
     for name in names:
         start = time.perf_counter() if live else 0.0
-        run = run_benchmark(name, n_references, seed, config)
+        run = run_benchmark(name, n_references, seed, config, fast=fast)
         if live:
             obs.span(
                 "experiment",
@@ -128,6 +156,11 @@ def run_all_benchmarks(
 # ----------------------------------------------------------------------
 
 FIG10_SCHEMES = ("parity", "cppc", "2d-parity")
+
+
+def _fig10_overhead_schemes() -> List[str]:
+    """Schemes shown against the parity baseline, in figure order."""
+    return [s for s in FIG10_SCHEMES if s != "parity"]
 
 
 @dataclasses.dataclass
@@ -153,21 +186,18 @@ class Figure10Result:
 
     def to_text(self) -> str:
         """Paper-style table: normalised CPIs per benchmark."""
+        schemes = _fig10_overhead_schemes()
         rows = []
         for bench in self.per_benchmark:
             rows.append(
-                [bench]
-                + [self.normalized(s, bench) for s in ("cppc", "2d-parity")]
+                [bench] + [self.normalized(s, bench) for s in schemes]
             )
         rows.append(
             ["average"]
-            + [
-                1.0 + self.average_overhead(s)
-                for s in ("cppc", "2d-parity")
-            ]
+            + [1.0 + self.average_overhead(s) for s in schemes]
         )
         return format_table(
-            ["benchmark", "cppc", "2d-parity"],
+            ["benchmark"] + schemes,
             rows,
             title="Figure 10: CPI normalised to 1-D parity L1",
             precision=4,
@@ -180,7 +210,7 @@ class Figure10Result:
         benchmarks = list(self.per_benchmark)
         series = {
             scheme: [self.normalized(scheme, b) for b in benchmarks]
-            for scheme in ("cppc", "2d-parity")
+            for scheme in _fig10_overhead_schemes()
         }
         return grouped_bar_chart(
             "Figure 10: CPI normalised to 1-D parity L1",
@@ -192,12 +222,24 @@ def figure10(
     runs: Sequence[BenchmarkRun],
     timing_config: Optional[TimingConfig] = None,
 ) -> Figure10Result:
-    """Price each benchmark's event stream under each scheme's ports."""
+    """Price each benchmark's event stream under each scheme's ports.
+
+    Columnar event streams (from ``run_benchmark(fast=True)``) are
+    priced by the bit-identical vectorized engine; scalar lists take the
+    reference loop.
+    """
+    from ..timing.fast import EventColumns, time_events_fast
+
     per_benchmark: Dict[str, Dict[str, float]] = {}
     for run in runs:
+        pricer = (
+            time_events_fast
+            if isinstance(run.events, EventColumns)
+            else time_events
+        )
         row = {}
         for scheme in FIG10_SCHEMES:
-            result = time_events(
+            result = pricer(
                 run.events,
                 timing_policy(scheme),
                 timing_config,

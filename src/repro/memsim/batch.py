@@ -266,6 +266,10 @@ class ReplayCapture:
             state (None for never-filled ways).
         slot_addr: byte address of each memory-image slot.
         final_cycle: cycle of the last access (0 for an empty trace).
+        dirty_stores: access indices of stores that hit an already-dirty
+            unit (sorted) — the per-access view of the
+            ``stores_to_dirty`` counter, which the timing fast path
+            turns into ``AccessEvent.was_dirty``.
     """
 
     def __init__(self):
@@ -274,6 +278,7 @@ class ReplayCapture:
         self.line_last: Optional[list] = None
         self.slot_addr: Optional[List[int]] = None
         self.final_cycle: int = 0
+        self.dirty_stores: List[int] = []
 
 
 @dataclasses.dataclass(frozen=True)
@@ -432,6 +437,38 @@ class BatchReplayEngine:
             self._feed(state, chunk)
         return self._finish(state)
 
+    # ------------------------------------------------------------------
+    # Incremental streaming API
+    # ------------------------------------------------------------------
+    def begin(self, capture: Optional[ReplayCapture] = None) -> "_ReplayState":
+        """Open a persistent replay: feed chunks, then :meth:`finish`.
+
+        Unlike :meth:`replay_chunks`, the caller holds the state between
+        chunks and may observe it mid-stream (via
+        :meth:`_ReplayState.checkpoint`) — how the timing fast path
+        splits one replay into a warmup and a measured window without
+        replaying anything twice.
+        """
+        return _ReplayState(self, capture)
+
+    def feed(self, state: "_ReplayState", trace: BatchTrace) -> None:
+        """Advance an open replay by one :class:`BatchTrace` chunk."""
+        self._feed(state, trace)
+
+    def finish(self, state: "_ReplayState") -> BatchReplayResult:
+        """Close an open replay and fold it into the result bundle."""
+        return self._finish(state)
+
+    def close(self, state: "_ReplayState") -> None:
+        """Seal an open replay's capture without building a result.
+
+        The timing fast path reads its statistics from checkpoints and
+        only needs the capture finalized; skipping the line/register/
+        memory snapshots :meth:`finish` performs removes the dominant
+        fixed cost at that call site.
+        """
+        self._seal_capture(state)
+
     def _feed(self, state: "_ReplayState", trace: BatchTrace) -> None:
         """Resolve one chunk of accesses against the persistent state."""
         trace.validate()
@@ -581,19 +618,26 @@ class BatchReplayEngine:
                 {"references": n},
             )
 
-    def _finish(self, state: "_ReplayState") -> BatchReplayResult:
-        """Fold the accumulated state into the result bundle."""
+    def _seal_capture(self, state: "_ReplayState") -> None:
+        """Finalize the capture attached to an open replay, if any."""
         capture = state.capture
         bb = self.block_bytes
         if capture is not None:
             # Stable sort: within one access the miss read was appended
             # before the victim write-back, matching the scalar order.
             capture.events.sort(key=lambda e: e[0])
+            capture.dirty_stores.sort()
             capture.line_last = state.line_last
             capture.slot_addr = [int(b) * bb for b in state.slot_blocks]
             capture.final_cycle = state.last_cycle
             for s in sorted(state.touched):
                 capture.lru[s] = state.lru[s]
+
+    def _finish(self, state: "_ReplayState") -> BatchReplayResult:
+        """Fold the accumulated state into the result bundle."""
+        self._seal_capture(state)
+        bb = self.block_bytes
+        capture = state.capture
         stats = CacheStats()
         stats.configure(self.num_sets * self.ways * self.units_per_block)
         c = state.counters
@@ -725,6 +769,7 @@ class BatchReplayEngine:
         dia = delta_idx.append
         dva = delta_val.append
         ev = capture.events.append if capture is not None else None
+        dsa = capture.dirty_stores.append if capture is not None else None
 
         for i, t, u, cls_i, st, now, slot, word, msk in zip(
             idxs, tags, units, classes, is_store, cycles, slots, words, masks
@@ -791,6 +836,8 @@ class BatchReplayEngine:
                 if was_dirty:
                     c.stores_to_dirty += 1
                     c.read_before_writes += 1
+                    if dsa is not None:
+                        dsa(i)
                     r2v(old)
                     r2c(cls_i)
                 new = (old & ~msk) | word
@@ -928,6 +975,30 @@ class _ReplayState:
         self.interval_hist = {}
         self.r1_acc = [0] * engine.num_classes
         self.r2_acc = [0] * engine.num_classes
+
+    def checkpoint(self) -> dict:
+        """Copy of the reduction accumulators at the current position.
+
+        Two checkpoints bracket a window of the replay: subtracting
+        them yields that window's counters, dirty-occupancy integral and
+        interval sums — exactly what a scalar ``reset_stats`` at the
+        window boundary would have measured, because the integral
+        restarts from the live dirty count and every per-unit
+        ``last_dirty_access`` survives the boundary in both models.
+        """
+        c = self.counters
+        return {
+            "counters": {name: getattr(c, name) for name in _Counters.__slots__},
+            "references": self.references,
+            "stores": self.stores,
+            "instructions": self.instructions,
+            "last_cycle": self.last_cycle,
+            "integral": self.integral,
+            "dirty_count": self.dirty_count,
+            "interval_sum": self.interval_sum,
+            "interval_count": self.interval_count,
+            "interval_hist": dict(self.interval_hist),
+        }
 
 
 # ----------------------------------------------------------------------

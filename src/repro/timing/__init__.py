@@ -1,5 +1,13 @@
 """Trace-driven timing models: fast analytical and cycle-stepped OoO."""
 
+from .fast import (
+    EventColumns,
+    FastRun,
+    collect_events_fast,
+    collect_run_fast,
+    simulate_cpi_fast,
+    time_events_fast,
+)
 from .pipeline import (
     DetailedPipeline,
     PipelineConfig,
@@ -36,6 +44,12 @@ __all__ = [
     "simulate_cpi",
     "time_events",
     "timing_policy",
+    "EventColumns",
+    "FastRun",
+    "collect_events_fast",
+    "collect_run_fast",
+    "simulate_cpi_fast",
+    "time_events_fast",
     "DetailedPipeline",
     "PipelineConfig",
     "PipelineResult",

@@ -98,17 +98,26 @@ class _Uop:
     kind: int
     complete_at: int  # cycle at which the value is ready
     rbw: bool = False  # stores only: owes a read-before-write
+    weight: int = 1  # committed instructions this uop accounts for
 
 
-def _expand(events: Iterable[AccessEvent]) -> Iterator[Tuple[int, int, bool]]:
-    """Flatten events to (kind, miss_level, was_dirty) uops."""
+def _expand(events: Iterable[AccessEvent]) -> Iterator[Tuple[int, int, bool, int]]:
+    """Flatten events to (kind, miss_level, was_dirty, weight) uops.
+
+    An event accounts for ``event.instructions`` committed instructions:
+    the gap's ALU uops plus the memory uop itself.  A zero-instruction
+    event still performs its memory operation but must commit with
+    weight 0, or the pipeline's CPI denominator drifts above the
+    analytical model's (which sums ``event.instructions`` directly).
+    """
     for event in events:
         for _ in range(event.instructions - 1):
-            yield (_ALU, 0, False)
+            yield (_ALU, 0, False, 1)
+        weight = 1 if event.instructions else 0
         if event.is_load:
-            yield (_LOAD, event.miss_level, False)
+            yield (_LOAD, event.miss_level, False, weight)
         else:
-            yield (_STORE, event.miss_level, event.was_dirty)
+            yield (_STORE, event.miss_level, event.was_dirty, weight)
 
 
 class DetailedPipeline:
@@ -139,7 +148,7 @@ class DetailedPipeline:
         cfg = self.config
         result = PipelineResult()
         feed = _expand(events)
-        pending: Optional[Tuple[int, int, bool]] = next(feed, None)
+        pending: Optional[Tuple[int, int, bool, int]] = next(feed, None)
 
         ruu: Deque[_Uop] = collections.deque()
         lsq_occupancy = 0
@@ -166,17 +175,35 @@ class DetailedPipeline:
                     lsq_occupancy -= 1
                 ruu.popleft()
                 committed += 1
-                result.instructions += 1
+                result.instructions += head.weight
 
             # ---- issue (up to issue_width) ---------------------------
             issued = 0
             while pending is not None and issued < cfg.issue_width:
-                kind, miss_level, was_dirty = pending
+                kind, miss_level, was_dirty, weight = pending
                 if len(ruu) >= cfg.ruu_size:
                     result.ruu_full_stalls += 1
                     break
                 if kind != _ALU and lsq_occupancy >= cfg.lsq_size:
                     result.lsq_full_stalls += 1
+                    break
+                # A missing memory op owes the scheme's per-miss port
+                # work (2-D parity's victim-line read) as RBW entries in
+                # the store buffer; they must respect its bound.  Stall
+                # issue until the buffer has drained room — unless it is
+                # already empty, when an oversized demand could never
+                # fit and must be admitted to make progress.
+                demand = (
+                    self.policy.miss_demand(self.units_per_block)
+                    if kind != _ALU and miss_level
+                    else 0
+                )
+                if (
+                    demand
+                    and store_buffer
+                    and len(store_buffer) + demand > cfg.store_buffer_size
+                ):
+                    result.store_buffer_stalls += 1
                     break
                 if kind == _LOAD:
                     if not read_port_free:
@@ -187,26 +214,20 @@ class DetailedPipeline:
                     if miss_level:
                         latency += cfg.replay_penalty
                         result.load_replays += 1
-                    ruu.append(_Uop(_LOAD, cycle + latency))
+                    ruu.append(_Uop(_LOAD, cycle + latency, weight=weight))
                     lsq_occupancy += 1
                     result.loads += 1
-                    if miss_level:
-                        # The miss also owes the scheme's per-miss port
-                        # work (2-D parity's victim-line read).
-                        demand = self.policy.miss_demand(self.units_per_block)
-                        for _ in range(demand):
-                            store_buffer.append(
-                                _Uop(_STORE, cycle, rbw=True)
-                            )
+                    for _ in range(demand):
+                        store_buffer.append(_Uop(_STORE, cycle, rbw=True))
                 elif kind == _STORE:
                     rbw = self.policy.store_demand(was_dirty) > 0
-                    ruu.append(_Uop(_STORE, cycle + 1, rbw=rbw))
+                    ruu.append(
+                        _Uop(_STORE, cycle + 1, rbw=rbw, weight=weight)
+                    )
                     lsq_occupancy += 1
                     result.stores += 1
-                    if miss_level:
-                        demand = self.policy.miss_demand(self.units_per_block)
-                        for _ in range(demand):
-                            store_buffer.append(_Uop(_STORE, cycle, rbw=True))
+                    for _ in range(demand):
+                        store_buffer.append(_Uop(_STORE, cycle, rbw=True))
                 else:
                     ruu.append(_Uop(_ALU, cycle + 1))
                 issued += 1

@@ -100,6 +100,7 @@ BASELINE_METRICS = {
     "campaign": (("speedup", "min"),),
     "tracestore": (("load_speedup", "min"),),
     "reliability": (("mc_speedup", "min"),),
+    "timing": (("speedup", "min"),),
 }
 
 
@@ -297,6 +298,42 @@ def build_parser() -> argparse.ArgumentParser:
         default=0.0,
         help="fail (exit 1) when the vectorized/scalar samples-per-sec "
         "ratio is below this (default: no gate)",
+    )
+    timing = parser.add_argument_group(
+        "timing mode",
+        "benchmark the vectorized Figure-10 timing fast path "
+        "(columnar event collection + array pricing) against the scalar "
+        "collect_events/time_events pipeline; bit-identity of events, "
+        "cache statistics and every scheme's TimingResult is asserted "
+        "across all benchmarks before anything is timed",
+    )
+    timing.add_argument(
+        "--timing",
+        action="store_true",
+        help="time the Figure-10 timing fast path instead of trace replay",
+    )
+    timing.add_argument(
+        "--timing-refs",
+        type=int,
+        default=12_000,
+        help="measured references per benchmark; a quarter more are "
+        "prepended as cache warmup (default: %(default)s)",
+    )
+    timing.add_argument(
+        "--timing-benchmarks",
+        nargs="+",
+        choices=benchmark_names(),
+        default=None,
+        metavar="NAME",
+        help="subset of benchmarks to run (default: the full Figure-10 "
+        "workload set)",
+    )
+    timing.add_argument(
+        "--min-timing-speedup",
+        type=float,
+        default=0.0,
+        help="exit 3 when the fast/scalar speedup is below this "
+        "(default: no gate)",
     )
     baseline = parser.add_argument_group(
         "baseline tracking",
@@ -866,6 +903,188 @@ def run_reliability_bench(
     return report
 
 
+def run_timing_bench(
+    *,
+    n_references: int = 12_000,
+    warmup_fraction: float = 0.25,
+    benchmarks: Optional[Sequence[str]] = None,
+    repeats: int = 3,
+    seed: int = 0,
+    registry=None,
+) -> dict:
+    """Time the Figure-10 timing fast path vs. the scalar pipeline.
+
+    Correctness first, following the other fast-path benches: for every
+    benchmark the batch collector's events, L1/L2 statistics and all
+    four schemes' priced :class:`TimingResult` objects must equal the
+    scalar ``collect_events``/``time_events`` outputs *bit for bit*
+    before anything is timed.
+
+    Both stages then consume pre-generated traces (the scalar path a
+    record list, the fast path the equivalent :class:`BatchTrace`) so
+    the ratio measures simulation, not workload synthesis — the same
+    convention the replay bench uses.  Each stage replays every
+    benchmark and prices it under every scheme; best-of-``repeats``
+    wall times feed the ``speedup`` ratio.
+    """
+    import itertools
+
+    from ..memsim import PAPER_CONFIG, MemoryHierarchy
+    from ..timing import (
+        TIMING_POLICIES,
+        collect_events,
+        time_events,
+        time_events_fast,
+    )
+    from ..timing.fast import EventColumns, collect_run_fast
+
+    if n_references < 1:
+        raise ValueError("timing reference count must be positive")
+    names = list(benchmarks) if benchmarks else benchmark_names()
+    warmup = int(n_references * warmup_fraction)
+    total = n_references + warmup
+    policies = {name: factory() for name, factory in TIMING_POLICIES.items()}
+
+    records = {}
+    batch_traces = {}
+    for name in names:
+        recs = list(make_workload(name, seed=seed).records(total))
+        records[name] = recs
+        batch_traces[name] = BatchTrace.from_records(recs)
+
+    def scalar_events(name):
+        hierarchy = MemoryHierarchy(PAPER_CONFIG)
+        it = iter(records[name])
+        if warmup:
+            collect_events(itertools.islice(it, warmup), hierarchy)
+            hierarchy.l1d.reset_stats()
+            hierarchy.l2.reset_stats()
+        return collect_events(it, hierarchy), hierarchy
+
+    problems = []
+    for name in names:
+        run = collect_run_fast(
+            batch_traces[name], PAPER_CONFIG, warmup=warmup, equivalence="never"
+        )
+        events, hierarchy = scalar_events(name)
+        prefix = f"{name}: "
+        problems += [
+            prefix + m
+            for m in run.events.mismatches(EventColumns.from_events(events))
+        ]
+        if hierarchy.l1d.stats != run.l1:
+            problems.append(prefix + "L1 statistics diverged")
+        if hierarchy.l2.stats != run.l2:
+            problems.append(prefix + "L2 statistics diverged")
+        for scheme, policy in policies.items():
+            scalar_result = time_events(
+                events, policy, units_per_block=hierarchy.l1d.units_per_block
+            )
+            fast_result = time_events_fast(
+                run.events, policy, units_per_block=run.units_per_block
+            )
+            if scalar_result != fast_result:
+                problems.append(
+                    f"{prefix}{scheme}: {scalar_result!r} != {fast_result!r}"
+                )
+    if problems:
+        raise EquivalenceError(
+            "timing fast path diverged from the scalar pipeline",
+            mismatches=problems,
+        )
+
+    def scalar_stage():
+        for name in names:
+            events, hierarchy = scalar_events(name)
+            for policy in policies.values():
+                time_events(
+                    events, policy, units_per_block=hierarchy.l1d.units_per_block
+                )
+
+    def fast_stage():
+        for name in names:
+            run = collect_run_fast(
+                batch_traces[name],
+                PAPER_CONFIG,
+                warmup=warmup,
+                equivalence="never",
+            )
+            for policy in policies.values():
+                time_events_fast(
+                    run.events, policy, units_per_block=run.units_per_block
+                )
+
+    fast_stage()  # warm NumPy before the timed runs
+    fast_s = _time_best(fast_stage, repeats)
+    scalar_s = _time_best(scalar_stage, repeats)
+
+    measured = len(names) * n_references
+    report = {
+        "mode": "timing",
+        "benchmarks": names,
+        "references": n_references,
+        "warmup": warmup,
+        "schemes": list(policies),
+        "seed": seed,
+        "repeats": repeats,
+        "scalar_seconds": scalar_s,
+        "fast_seconds": fast_s,
+        "speedup": scalar_s / fast_s,
+        "fast_references_per_sec": measured / fast_s,
+        "equivalence": {
+            "benchmarks": len(names),
+            "schemes": len(policies),
+            "status": "ok",
+        },
+    }
+    if registry is not None:
+        registry.gauge("bench.timing_speedup").set(report["speedup"])
+        registry.gauge("bench.timing_references_per_sec").set(
+            report["fast_references_per_sec"]
+        )
+    return report
+
+
+def _timing_main(args, registry) -> int:
+    try:
+        report = run_timing_bench(
+            n_references=args.timing_refs,
+            benchmarks=args.timing_benchmarks,
+            repeats=args.repeats,
+            seed=args.seed,
+            registry=registry,
+        )
+    except EquivalenceError as exc:
+        return fail(f"equivalence check FAILED:\n{exc}")
+    _apply_baseline(report, "timing", args)
+    output = args.output or pathlib.Path("BENCH_timing.json")
+    output.write_text(json.dumps(report, indent=2) + "\n")
+    emit_metrics(args.emit_metrics, registry)
+    print(
+        "figure-10 timing, {n} benchmarks x {references} refs x "
+        "{schemes} schemes: scalar {scalar_seconds:.2f}s  "
+        "fast {fast_seconds:.2f}s  speedup {speedup:.1f}x".format(
+            n=len(report["benchmarks"]),
+            schemes=len(report["schemes"]),
+            **{
+                k: v
+                for k, v in report.items()
+                if k in ("references", "scalar_seconds", "fast_seconds", "speedup")
+            },
+        )
+    )
+    print(f"wrote {output}")
+    gate_failed = False
+    if args.min_timing_speedup and report["speedup"] < args.min_timing_speedup:
+        print(
+            f"timing speedup {report['speedup']:.1f}x is below "
+            f"the required {args.min_timing_speedup:.1f}x",
+            file=sys.stderr,
+        )
+        gate_failed = True
+    return resolve_exit(partial=gate_failed)
+
+
 def _reliability_main(args, registry) -> int:
     try:
         report = run_reliability_bench(
@@ -986,7 +1205,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = parser.parse_args(argv)
     if args.trace_len < 1:
         parser.error("--trace-len must be positive")
+    if args.timing_refs < 1:
+        parser.error("--timing-refs must be positive")
     registry = metrics_registry(args.emit_metrics)
+    if args.timing:
+        return _timing_main(args, registry)
     if args.campaign:
         return _campaign_main(args, registry)
     if args.reliability:

@@ -185,6 +185,32 @@ class TestOracles:
         )
         assert check_chaos(scenario) == []
 
+    def test_timing_oracle_clean(self):
+        from repro.crosscheck.oracles import check_timing
+
+        generator = ScenarioGenerator(7, kind_weights={"timing": 1.0})
+        for index in range(3):
+            assert check_timing(generator.generate(index)) == []
+
+    def test_timing_scenarios_carry_core_parameters(self):
+        generator = ScenarioGenerator(3, kind_weights={"timing": 1.0})
+        scenario = generator.generate(0)
+        assert scenario.kind == "timing"
+        assert scenario.issue_width >= 1
+        assert scenario.store_buffer >= 1
+        assert scenario.records
+
+    def test_timing_fields_default_in_old_reproducers(self):
+        # Reproducer files written before the timing kind existed lack
+        # issue_width/store_buffer; from_json must fill the defaults.
+        scenario = tiny_replay_scenario()
+        payload = json.loads(json.dumps(scenario.to_json()))
+        payload.pop("issue_width", None)
+        payload.pop("store_buffer", None)
+        restored = Scenario.from_json(payload)
+        assert restored.issue_width == 4
+        assert restored.store_buffer == 2
+
     def test_run_scenario_wraps_crash_as_divergence(self, monkeypatch):
         import repro.crosscheck.oracles as oracles
 

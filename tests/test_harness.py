@@ -42,6 +42,49 @@ class TestRunBenchmark:
         b = run_benchmark("vpr", n_references=800)
         assert a.l1.snapshot() == b.l1.snapshot()
 
+    def test_sequence_records_not_replayed_twice(self, monkeypatch):
+        # Regression: a workload whose records() hands back a list (not
+        # a generator) must not feed the warmup prefix into the measured
+        # window a second time.
+        from repro.harness import experiments
+
+        real = experiments.make_workload
+
+        def listy(name, seed=0):
+            workload = real(name, seed=seed)
+            records = workload.records
+
+            def as_list(n):
+                return list(records(n))
+
+            workload.records = as_list
+            return workload
+
+        monkeypatch.setattr(experiments, "make_workload", listy)
+        run = run_benchmark("gzip", n_references=600, warmup_fraction=0.5)
+        reference = run_benchmark("gzip", n_references=600, warmup_fraction=0.5)
+        assert run.l1.accesses == 600
+        assert list(run.events) == list(reference.events)
+
+    def test_fast_path_is_bit_identical(self):
+        scalar = run_benchmark("gcc", n_references=900, warmup_fraction=0.25)
+        fast = run_benchmark(
+            "gcc", n_references=900, warmup_fraction=0.25, fast=True
+        )
+        assert list(fast.events) == list(scalar.events)
+        assert fast.l1 == scalar.l1
+        assert fast.l2 == scalar.l2
+        assert fast.units_per_block == scalar.units_per_block
+
+    def test_run_all_benchmarks_fast(self):
+        names = ["gzip", "mcf"]
+        scalar = run_all_benchmarks(n_references=700, benchmarks=names)
+        fast = run_all_benchmarks(n_references=700, benchmarks=names, fast=True)
+        for a, b in zip(scalar, fast):
+            assert a.name == b.name
+            assert list(a.events) == list(b.events)
+            assert a.l1 == b.l1 and a.l2 == b.l2
+
 
 class TestFigure10(object):
     def test_parity_baseline_normalises_to_one(self, small_runs):
@@ -65,6 +108,20 @@ class TestFigure10(object):
     def test_to_text_renders(self, small_runs):
         text = figure10(small_runs).to_text()
         assert "Figure 10" in text and "gzip" in text and "average" in text
+
+    def test_renderers_follow_fig10_schemes(self, small_runs):
+        # Regression: to_text/to_chart used to hard-code the scheme
+        # list; they must track FIG10_SCHEMES instead.
+        from repro.harness.experiments import FIG10_SCHEMES
+
+        result = figure10(small_runs)
+        text = result.to_text()
+        chart = result.to_chart()
+        for scheme in FIG10_SCHEMES:
+            if scheme == "parity":
+                continue  # the baseline is implicit in both renderings
+            assert scheme in text
+            assert scheme in chart
 
 
 class TestFigures11And12:

@@ -136,6 +136,52 @@ class TestConfigValidation:
         assert a == b
 
 
+class TestStoreBufferRegressions:
+    """Pin down the capacity accounting bug: issue must respect the
+    buffer bound even when a single event demands multiple entries."""
+
+    def test_oversized_demand_into_empty_buffer_completes(self):
+        # 2-D parity charges two write-backs per L2 miss; a one-entry
+        # buffer can never hold both, so the issue stage must admit the
+        # group once the buffer is empty or the machine deadlocks.
+        events = [load(1, miss=2) for _ in range(40)]
+        result = simulate_detailed_cpi(
+            events,
+            timing_policy("2d-parity"),
+            PipelineConfig(store_buffer_size=1),
+        )
+        assert result.instructions == sum(e.instructions for e in events)
+
+    def test_multi_entry_demand_stalls_a_tiny_buffer(self):
+        events = [store(1, dirty=True, miss=1) for _ in range(80)]
+        result = simulate_detailed_cpi(
+            events,
+            timing_policy("2d-parity"),
+            PipelineConfig(store_buffer_size=1),
+        )
+        assert result.store_buffer_stalls > 0
+        assert result.instructions == sum(e.instructions for e in events)
+
+
+class TestZeroInstructionEvents:
+    """Regression for the divergence bug: an instructions=0 event must
+    still exert its memory pressure without inflating the denominator."""
+
+    def test_free_miss_costs_cycles_but_no_instructions(self):
+        base = [load(2) for _ in range(30)]
+        extra = base + [load(0, miss=2)]
+        a = simulate_detailed_cpi(base, timing_policy("parity"))
+        b = simulate_detailed_cpi(extra, timing_policy("parity"))
+        assert b.instructions == a.instructions
+        assert b.loads == a.loads + 1
+        assert b.cycles > a.cycles
+
+    def test_denominator_matches_event_stream(self):
+        events = mixed_stream(60) + [store(0, dirty=True), load(0, miss=1)]
+        result = simulate_detailed_cpi(events, timing_policy("cppc"))
+        assert result.instructions == sum(e.instructions for e in events)
+
+
 class TestCrossModel:
     def test_tracks_the_analytical_model(self):
         """Both timing models consume the same event stream; on an
